@@ -1,0 +1,73 @@
+// Command analyze explores the paper's mathematics directly, without a
+// full simulation: the E−Ê savings surface of the heterogeneous model
+// (what utilising IITs is worth as a function of the availability gap) and
+// the tightness of the ñ_min node-count bound.
+//
+// Example:
+//
+//	analyze -sigma 200 -early 6 -late 10 -gaps 0,250,500,1000,2000,4000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rtdls/internal/analysis"
+	"rtdls/internal/dlt"
+)
+
+func main() {
+	var (
+		cms   = flag.Float64("cms", 1, "unit transmission cost")
+		cps   = flag.Float64("cps", 100, "unit processing cost")
+		sigma = flag.Float64("sigma", 200, "task data size σ")
+		early = flag.Int("early", 6, "nodes available immediately")
+		late  = flag.Int("late", 10, "nodes available after the gap")
+		gaps  = flag.String("gaps", "0,250,500,1000,2000,4000", "comma-separated gap lengths")
+	)
+	flag.Parse()
+
+	p := dlt.Params{Cms: *cms, Cps: *cps}
+	var gs []float64
+	for _, f := range strings.Split(*gaps, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "analyze: bad gap %q: %v\n", f, err)
+			os.Exit(1)
+		}
+		gs = append(gs, v)
+	}
+
+	rows, err := analysis.GapSweep(p, *sigma, *early, *late, gs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("IIT savings surface — σ=%g, %d nodes at t=0, %d at t=gap (Cms=%g, Cps=%g)\n\n",
+		*sigma, *early, *late, *cms, *cps)
+	fmt.Print(analysis.FormatSavingsTable(gs, rows))
+
+	fmt.Println()
+	fmt.Println("ñ_min bound tightness (idle floor at 0, deadline sweep):")
+	fmt.Printf("%-12s %8s %8s\n", "deadline", "ñ_min", "true n")
+	n := *early + *late
+	for _, dm := range []float64{1.2, 1.5, 2, 3, 5, 10} {
+		absD := dm * p.ExecTime(*sigma, n)
+		avail := make([]float64, n)
+		for i := *early; i < n; i++ {
+			avail[i] = gs[len(gs)-1] / 2
+		}
+		tt := analysis.BoundTightness(p, *sigma, absD, 0, avail)
+		if !tt.Ok {
+			fmt.Printf("%-12.4g %8s %8s\n", absD, "—", "—")
+			continue
+		}
+		fmt.Printf("%-12.4g %8d %8d\n", absD, tt.Bound, tt.True)
+	}
+	fmt.Println("\n(ñ_min evaluated with the slack at t — it can under-provide when nodes are")
+	fmt.Println("busy, which the scheduler's expansion rule compensates; it never over-provides,")
+	fmt.Println("because the IIT saving E−Ê is always smaller than the wait r_n producing it.)")
+}

@@ -1,0 +1,144 @@
+// Command dlsim runs one real-time divisible load scheduling simulation
+// and reports its admission and execution metrics.
+//
+// Example (the paper's baseline at 70% load under EDF-DLT):
+//
+//	dlsim -alg dlt-iit -policy edf -load 0.7
+//
+// Compare against the no-IIT baseline on the identical workload:
+//
+//	dlsim -alg opr-mn -policy edf -load 0.7
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"rtdls"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 16, "number of processing nodes")
+		cms      = flag.Float64("cms", 1, "unit data transmission cost Cms")
+		cps      = flag.Float64("cps", 100, "unit data processing cost Cps")
+		policy   = flag.String("policy", "edf", "scheduling policy: edf or fifo")
+		alg      = flag.String("alg", rtdls.AlgDLTIIT, fmt.Sprintf("algorithm: one of %v", rtdls.Algorithms()))
+		load     = flag.Float64("load", 0.5, "SystemLoad (arrival rate × E(Avgσ,N))")
+		avgSigma = flag.Float64("avgsigma", 200, "mean task data size Avgσ")
+		dcRatio  = flag.Float64("dcratio", 2, "mean deadline / mean minimum execution time")
+		horizon  = flag.Float64("horizon", 1e7, "arrival window in simulated time units")
+		seed     = flag.Uint64("seed", 1, "workload RNG seed")
+		rounds   = flag.Int("rounds", 2, "installments per node for -alg dlt-mr")
+		traceN   = flag.Int("trace", 0, "print the last N task lifecycle events")
+		doVerify = flag.Bool("verify", false, "independently re-check every commit (overlap, Theorem 4, deadlines)")
+		ganttT   = flag.Float64("gantt", 0, "render an ASCII node timeline of the first T time units (0 = off)")
+		asJSON   = flag.Bool("json", false, "emit the result as JSON")
+	)
+	flag.Parse()
+
+	cfg := rtdls.Config{
+		N: *n, Cms: *cms, Cps: *cps,
+		Policy: *policy, Algorithm: *alg,
+		SystemLoad: *load, AvgSigma: *avgSigma, DCRatio: *dcRatio,
+		Horizon: *horizon, Seed: *seed, Rounds: *rounds,
+	}
+	var (
+		ring     *rtdls.TraceRing
+		verifier *rtdls.Verifier
+		timeline *rtdls.GanttCollector
+		obs      multiObserver
+	)
+	if *traceN > 0 {
+		ring = rtdls.NewTraceRing(*traceN)
+		obs = append(obs, ring)
+	}
+	if *doVerify {
+		verifier = rtdls.NewVerifier(rtdls.Params{Cms: *cms, Cps: *cps}, *n)
+		obs = append(obs, verifier)
+	}
+	if *ganttT > 0 {
+		timeline = rtdls.NewGanttCollector(*n)
+		obs = append(obs, timeline)
+	}
+	if len(obs) > 0 {
+		cfg.Observer = obs
+	}
+
+	res, err := rtdls.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dlsim:", err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		res.Config.Observer = nil // not serialisable
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "dlsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("%s-%s  N=%d Cms=%g Cps=%g Avgσ=%g DCRatio=%g load=%.2f seed=%d\n",
+		*policy, *alg, *n, *cms, *cps, *avgSigma, *dcRatio, *load, *seed)
+	fmt.Printf("  arrivals        %d\n", res.Arrivals)
+	fmt.Printf("  accepted        %d\n", res.Accepted)
+	fmt.Printf("  rejected        %d\n", res.Rejected)
+	fmt.Printf("  reject ratio    %.6f\n", res.RejectRatio)
+	fmt.Printf("  mean response   %.2f\n", res.MeanResponse)
+	fmt.Printf("  mean nodes/task %.2f\n", res.MeanNodes)
+	fmt.Printf("  max lateness    %.3g (must be ≤ 0: hard real-time guarantee)\n", res.MaxLateness)
+	fmt.Printf("  est. slack      %.2f (Theorem-4 estimate − actual, mean)\n", res.MeanEstSlack)
+	fmt.Printf("  utilization     %.4f\n", res.Utilization)
+	fmt.Printf("  reserved idle   %.4f (wasted IIT fraction; OPR only)\n", res.ReservedIdleFrac)
+	fmt.Printf("  max queue       %d\n", res.MaxQueueLen)
+
+	if ring != nil {
+		fmt.Printf("\nlast %d lifecycle events:\n", len(ring.Records()))
+		for _, rec := range ring.Records() {
+			fmt.Printf("  t=%-12.2f %-7s task=%-6d σ=%-8.1f absD=%-12.2f nodes=%-3d est=%.2f\n",
+				rec.Time, rec.Kind, rec.TaskID, rec.Sigma, rec.Deadline, rec.Nodes, rec.Est)
+		}
+	}
+	if timeline != nil {
+		fmt.Println()
+		fmt.Print(timeline.Render(0, *ganttT, 100))
+	}
+	if verifier != nil {
+		fmt.Println()
+		fmt.Print(verifier.Report())
+		if !verifier.OK() {
+			os.Exit(2)
+		}
+	}
+}
+
+// multiObserver fans lifecycle callbacks out to several observers.
+type multiObserver []interface {
+	OnAccept(now float64, t *rtdls.Task, p *rtdls.Plan)
+	OnReject(now float64, t *rtdls.Task)
+	OnCommit(now float64, p *rtdls.Plan)
+}
+
+func (m multiObserver) OnAccept(now float64, t *rtdls.Task, p *rtdls.Plan) {
+	for _, o := range m {
+		o.OnAccept(now, t, p)
+	}
+}
+
+func (m multiObserver) OnReject(now float64, t *rtdls.Task) {
+	for _, o := range m {
+		o.OnReject(now, t)
+	}
+}
+
+func (m multiObserver) OnCommit(now float64, p *rtdls.Plan) {
+	for _, o := range m {
+		o.OnCommit(now, p)
+	}
+}

@@ -1,0 +1,165 @@
+// Command figures regenerates the paper's evaluation: every figure panel
+// (Figures 3–16), the Sec. 5.2 aggregate comparison, the unshown
+// cluster-size sweep and the multi-round ablation.
+//
+// For each panel it writes <id>.csv (spreadsheet form), <id>.dat
+// (gnuplot form matching the paper's plots) and <id>.txt (aligned table
+// plus an ASCII chart) into the output directory, followed by summary.txt
+// with the head-to-head aggregates.
+//
+// Laptop-scale run (defaults: horizon 2e6, 5 runs/point):
+//
+//	figures -out results
+//
+// Paper-scale run (Sec. 5: horizon 1e7, 10 runs/point):
+//
+//	figures -out results -horizon 1e7 -runs 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"rtdls/internal/experiments"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "results", "output directory")
+		horizon = flag.Float64("horizon", 2e6, "arrival window per run (paper: 1e7)")
+		runs    = flag.Int("runs", 5, "paired-seed runs per point (paper: 10)")
+		seed    = flag.Uint64("seed", 1, "base seed for the whole suite")
+		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		match   = flag.String("match", "", "only run panels whose ID contains this substring")
+		chartW  = flag.Int("chartw", 64, "ASCII chart width")
+		chartH  = flag.Int("charth", 16, "ASCII chart height")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Horizon: *horizon, Runs: *runs, BaseSeed: *seed, Workers: *workers}
+	panels := experiments.AllPanels()
+	if *match != "" {
+		var kept []experiments.Panel
+		for _, p := range panels {
+			if strings.Contains(p.ID, *match) {
+				kept = append(kept, p)
+			}
+		}
+		panels = kept
+	}
+	if len(panels) == 0 {
+		fmt.Fprintln(os.Stderr, "figures: no panels match")
+		os.Exit(1)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+
+	start := time.Now()
+	var results []*experiments.PanelResult
+	for i, p := range panels {
+		t0 := time.Now()
+		r, err := experiments.Run(p, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: panel %s: %v\n", p.ID, err)
+			os.Exit(1)
+		}
+		results = append(results, r)
+		for suffix, content := range map[string]string{
+			".csv":     r.CSV(),
+			".aux.csv": r.AuxCSV(),
+			".dat":     r.GnuplotDat(),
+			".txt":     r.Table() + "\n" + r.Chart(*chartW, *chartH),
+		} {
+			path := filepath.Join(*out, p.ID+suffix)
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%2d/%d] %-5s %-45s %s\n",
+			i+1, len(panels), p.ID, p.Title, time.Since(t0).Round(time.Millisecond))
+	}
+
+	var summary strings.Builder
+	fmt.Fprintf(&summary, "rtdls evaluation suite — %d panels, horizon=%g, runs=%d, seed=%d\n",
+		len(panels), opts.Horizon, opts.Runs, opts.BaseSeed)
+	fmt.Fprintf(&summary, "total wall time: %s\n\n", time.Since(start).Round(time.Second))
+	for _, pair := range [][2]string{
+		{"EDF-DLT", "EDF-OPR-MN"},
+		{"FIFO-DLT", "FIFO-OPR-MN"},
+		{"EDF-DLT", "EDF-UserSplit"},
+		{"FIFO-DLT", "FIFO-UserSplit"},
+	} {
+		if c, err := experiments.Compare(results, pair[0], pair[1]); err == nil {
+			summary.WriteString(c.String())
+			summary.WriteString("\n")
+		}
+	}
+	// The paper's Sec. 5.2 statistic pools both policies' DLT-vs-UserSplit
+	// cells; report the pooled numbers too.
+	pooled := poolUserSplit(results)
+	if pooled != "" {
+		summary.WriteString(pooled)
+	}
+	if err := os.WriteFile(filepath.Join(*out, "summary.txt"), []byte(summary.String()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	fmt.Print(summary.String())
+}
+
+// poolUserSplit merges the EDF and FIFO DLT-vs-UserSplit comparisons into
+// the single aggregate the paper quotes ("330 simulations … 8.22%").
+func poolUserSplit(results []*experiments.PanelResult) string {
+	edf, err1 := experiments.Compare(results, "EDF-DLT", "EDF-UserSplit")
+	fifo, err2 := experiments.Compare(results, "FIFO-DLT", "FIFO-UserSplit")
+	if err1 != nil || err2 != nil {
+		return ""
+	}
+	cells := edf.Cells + fifo.Cells
+	usWins := edf.BWins + fifo.BWins
+	dltWins := edf.AWins + fifo.AWins
+	var b strings.Builder
+	fmt.Fprintf(&b, "Pooled DLT vs User-Split (Sec. 5.2 statistic) over %d simulations:\n", cells)
+	fmt.Fprintf(&b, "  User-Split better: %.2f%% of configurations\n", 100*float64(usWins)/float64(cells))
+	avgA := weightedAvg(edf.AvgGainA, edf.AWins, fifo.AvgGainA, fifo.AWins)
+	avgB := weightedAvg(edf.AvgGainB, edf.BWins, fifo.AvgGainB, fifo.BWins)
+	fmt.Fprintf(&b, "  when DLT wins   (%4d cells): gains avg=%.3f max=%.3f min=%.3f\n",
+		dltWins, avgA, maxf(edf.MaxGainA, fifo.MaxGainA), minPos(edf.MinGainA, fifo.MinGainA))
+	fmt.Fprintf(&b, "  when User-Split wins (%4d cells): gains avg=%.3f max=%.3f min=%.3f\n",
+		usWins, avgB, maxf(edf.MaxGainB, fifo.MaxGainB), minPos(edf.MinGainB, fifo.MinGainB))
+	return b.String()
+}
+
+func weightedAvg(a float64, na int, b float64, nb int) float64 {
+	if na+nb == 0 {
+		return 0
+	}
+	return (a*float64(na) + b*float64(nb)) / float64(na+nb)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minPos(a, b float64) float64 {
+	switch {
+	case a == 0:
+		return b
+	case b == 0:
+		return a
+	case a < b:
+		return a
+	default:
+		return b
+	}
+}

@@ -1,0 +1,100 @@
+// Command sweep varies a single cluster or workload parameter and prints
+// the reject-ratio table for a set of algorithms — handy for exploring
+// beyond the paper's fixed figure grid.
+//
+// Example (how the IIT benefit scales with cluster size at 80% load):
+//
+//	sweep -param n -values 8,16,32,64,128 -load 0.8 -algs dlt-iit,opr-mn
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rtdls"
+)
+
+func main() {
+	var (
+		param    = flag.String("param", "load", "parameter to sweep: load, n, cms, cps, avgsigma, dcratio, rounds")
+		values   = flag.String("values", "0.1,0.3,0.5,0.7,0.9", "comma-separated values")
+		algsFlag = flag.String("algs", "dlt-iit,opr-mn", "comma-separated algorithms")
+		policy   = flag.String("policy", "edf", "scheduling policy: edf or fifo")
+		n        = flag.Int("n", 16, "number of processing nodes")
+		cms      = flag.Float64("cms", 1, "unit transmission cost")
+		cps      = flag.Float64("cps", 100, "unit processing cost")
+		load     = flag.Float64("load", 0.5, "SystemLoad")
+		avgSigma = flag.Float64("avgsigma", 200, "mean data size")
+		dcRatio  = flag.Float64("dcratio", 2, "deadline/cost ratio")
+		horizon  = flag.Float64("horizon", 2e6, "arrival window per run")
+		runs     = flag.Int("runs", 3, "seeds per point")
+	)
+	flag.Parse()
+
+	algs := strings.Split(*algsFlag, ",")
+	vals := strings.Split(*values, ",")
+
+	fmt.Printf("%-10s", *param)
+	for _, a := range algs {
+		fmt.Printf(" %14s", strings.TrimSpace(a))
+	}
+	fmt.Println()
+
+	for _, vs := range vals {
+		v, err := strconv.ParseFloat(strings.TrimSpace(vs), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: bad value %q: %v\n", vs, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-10g", v)
+		for _, a := range algs {
+			cfg := rtdls.Config{
+				N: *n, Cms: *cms, Cps: *cps,
+				Policy: *policy, Algorithm: strings.TrimSpace(a),
+				SystemLoad: *load, AvgSigma: *avgSigma, DCRatio: *dcRatio,
+				Horizon: *horizon, Rounds: 2,
+			}
+			if err := apply(&cfg, *param, v); err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+				os.Exit(1)
+			}
+			sum := 0.0
+			for run := 0; run < *runs; run++ {
+				cfg.Seed = uint64(1000*run) + 17
+				res, err := rtdls.Run(cfg)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "sweep:", err)
+					os.Exit(1)
+				}
+				sum += res.RejectRatio
+			}
+			fmt.Printf(" %14.4f", sum/float64(*runs))
+		}
+		fmt.Println()
+	}
+}
+
+func apply(cfg *rtdls.Config, param string, v float64) error {
+	switch param {
+	case "load":
+		cfg.SystemLoad = v
+	case "n":
+		cfg.N = int(v)
+	case "cms":
+		cfg.Cms = v
+	case "cps":
+		cfg.Cps = v
+	case "avgsigma":
+		cfg.AvgSigma = v
+	case "dcratio":
+		cfg.DCRatio = v
+	case "rounds":
+		cfg.Rounds = int(v)
+	default:
+		return fmt.Errorf("unknown parameter %q", param)
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+// Package rtdls is a Go implementation of real-time divisible load
+// scheduling for clusters with different processor available times,
+// reproducing Lin, Lu, Deogun and Goddard, "Real-Time Divisible Load
+// Scheduling with Different Processor Available Times" (University of
+// Nebraska–Lincoln, TR-UNL-CSE-2007-0013; ICPP 2007).
+//
+// Arbitrarily divisible (embarrassingly parallel) workloads — common in
+// high-energy physics pipelines such as CMS and ATLAS — can be split into
+// any number of independent chunks. When such loads carry deadlines, a
+// cluster RMS must decide on admission whether a task can finish in time.
+// Classic schedulers wait until enough processors are simultaneously free,
+// wasting the Inserted Idle Times (IITs) on processors that freed up early.
+// The paper's contribution, implemented here, transforms the homogeneous
+// cluster with staggered availability into an equivalent heterogeneous
+// cluster that is allocated all at once, applies divisible load theory to
+// partition the task so that every processor starts as soon as it is free
+// yet all finish (nearly) together, and proves the resulting completion
+// estimate safe for hard real-time admission control.
+//
+// The package offers three levels of API:
+//
+//   - Run / Config: one-call discrete-event simulation of a cluster under a
+//     synthetic workload, returning admission and execution metrics.
+//   - Scheduler / Cluster / Task: the event-driven scheduling framework for
+//     embedding in other simulators or systems (EDF/FIFO × DLT-IIT /
+//     OPR-MN / OPR-AN / User-Split / multi-round partitioners).
+//   - Model: the heterogeneous-model mathematics itself (Eqs. 1–7 of the
+//     paper) for analysis work.
+//
+// The experiment harness that regenerates every figure of the paper lives
+// in cmd/figures; see DESIGN.md and EXPERIMENTS.md.
+package rtdls

@@ -1,0 +1,90 @@
+// comparison sweeps the paper's baseline configuration across the system
+// load range for every scheduling algorithm in the library and renders the
+// result as a table plus an ASCII chart — a one-shot replica of the
+// evaluation's headline story.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rtdls"
+)
+
+func main() {
+	loads := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	algs := []struct {
+		name string
+		alg  string
+		pol  string
+		rnds int
+	}{
+		{"EDF-DLT", rtdls.AlgDLTIIT, "edf", 0},
+		{"EDF-OPR-MN", rtdls.AlgOPRMN, "edf", 0},
+		{"EDF-OPR-AN", rtdls.AlgOPRAN, "edf", 0},
+		{"EDF-UserSplit", rtdls.AlgUserSplit, "edf", 0},
+		{"FIFO-DLT", rtdls.AlgDLTIIT, "fifo", 0},
+		{"FIFO-OPR-MN", rtdls.AlgOPRMN, "fifo", 0},
+		{"EDF-DLT-MR4", rtdls.AlgDLTMR, "edf", 4},
+	}
+
+	fmt.Println("Task Reject Ratio across algorithms — paper baseline (N=16, Cms=1, Cps=100, Avgσ=200, DCRatio=2)")
+	fmt.Println("horizon 1e6, 3 paired seeds per point")
+	fmt.Println()
+	fmt.Printf("%-6s", "load")
+	for _, a := range algs {
+		fmt.Printf(" %14s", a.name)
+	}
+	fmt.Println()
+
+	curves := make(map[string][]float64, len(algs))
+	for _, load := range loads {
+		fmt.Printf("%-6.1f", load)
+		for _, a := range algs {
+			sum := 0.0
+			const runs = 3
+			for seed := uint64(1); seed <= runs; seed++ {
+				cfg := rtdls.Config{
+					N: 16, Cms: 1, Cps: 100,
+					Policy: a.pol, Algorithm: a.alg, Rounds: a.rnds,
+					SystemLoad: load, AvgSigma: 200, DCRatio: 2,
+					Horizon: 1e6, Seed: seed,
+				}
+				res, err := rtdls.Run(cfg)
+				if err != nil {
+					log.Fatal(err)
+				}
+				sum += res.RejectRatio
+			}
+			mean := sum / runs
+			curves[a.name] = append(curves[a.name], mean)
+			fmt.Printf(" %14.4f", mean)
+		}
+		fmt.Println()
+	}
+
+	// Chart the central comparison (Fig. 3a + Fig. 5a in one frame) via the
+	// panel machinery so the rendering matches cmd/figures.
+	fmt.Println()
+	p, ok := find("f03")
+	if !ok {
+		return
+	}
+	opts := rtdls.DefaultPanelOptions()
+	opts.Horizon = 1e6
+	opts.Runs = 3
+	r, err := rtdls.RunPanel(p, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(r.Chart(64, 16))
+}
+
+func find(id string) (rtdls.Panel, bool) {
+	for _, p := range rtdls.AllPanels() {
+		if p.ID == id {
+			return p, true
+		}
+	}
+	return rtdls.Panel{}, false
+}

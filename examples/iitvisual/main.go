@@ -1,0 +1,61 @@
+// iitvisual reproduces the paper's Figure 1 visually: the same task
+// stream scheduled by EDF-OPR-MN (processors allocated simultaneously —
+// inserted idle times shown as '.') and by EDF-DLT (processors utilised
+// the moment they are released), rendered as ASCII node timelines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rtdls"
+)
+
+func main() {
+	const (
+		nodes   = 8
+		horizon = 25000.0
+	)
+	params := rtdls.Params{Cms: 1, Cps: 100}
+
+	run := func(alg string) (*rtdls.GanttCollector, *rtdls.Result) {
+		timeline := rtdls.NewGanttCollector(nodes)
+		cfg := rtdls.Config{
+			N: nodes, Cms: params.Cms, Cps: params.Cps,
+			Policy: "edf", Algorithm: alg,
+			// Overload with loose deadlines: tasks of mixed sizes overlap,
+			// so arriving tasks routinely wait for part of their node set —
+			// the regime where inserted idle times appear.
+			SystemLoad: 1.2, AvgSigma: 100, DCRatio: 4,
+			Horizon: horizon, Seed: 12,
+			Observer: timeline,
+		}
+		res, err := rtdls.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return timeline, res
+	}
+
+	fmt.Println("Figure-1 style comparison: identical task stream, 8 nodes, overload")
+	fmt.Println()
+
+	opr, oprRes := run(rtdls.AlgOPRMN)
+	fmt.Printf("EDF-OPR-MN (no IIT utilisation) — reject ratio %.3f, wasted IIT fraction %.4f\n",
+		oprRes.RejectRatio, oprRes.ReservedIdleFrac)
+	fmt.Print(opr.Render(0, horizon, 100))
+	fmt.Println()
+
+	iit, iitRes := run(rtdls.AlgDLTIIT)
+	fmt.Printf("EDF-DLT (this paper) — reject ratio %.3f, wasted IIT fraction %.4f\n",
+		iitRes.RejectRatio, iitRes.ReservedIdleFrac)
+	fmt.Print(iit.Render(0, horizon, 100))
+	fmt.Println()
+
+	fmt.Println("Every '.' in the first chart is processing power the baseline throws away")
+	fmt.Println("while waiting for the task's full node set; the DLT schedule has none —")
+	fmt.Println("each node starts receiving its (heterogeneous-model sized) chunk as soon")
+	fmt.Println("as it is released. Over long horizons that reclaimed capacity turns into")
+	fmt.Println("earlier completions and fewer rejections (Fig. 3 of the paper; run")
+	fmt.Println("`go run ./cmd/figures -match f03` to regenerate the quantitative curve).")
+}

@@ -1,0 +1,128 @@
+// Package analysis provides closed-form and search-based tooling around
+// the paper's mathematics: how much execution time the heterogeneous-model
+// partition actually saves for a given availability structure (the E−Ê
+// surface behind Figures 3–12), and how tight the ñ_min node-count bound
+// is against the true minimum the Eq. 6 estimate would certify.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rtdls/internal/core"
+	"rtdls/internal/dlt"
+)
+
+// Savings quantifies the IIT gain of one availability vector.
+type Savings struct {
+	N        int     // nodes
+	Rn       float64 // latest available time
+	E        float64 // no-IIT execution time E(σ,n)
+	EHat     float64 // heterogeneous-model estimate Ê(σ,n)
+	Absolute float64 // E − Ê
+	Relative float64 // (E − Ê)/E
+}
+
+// ComputeSavings evaluates E−Ê for a task of size sigma on nodes with the
+// given available times.
+func ComputeSavings(p dlt.Params, sigma float64, avail []float64) (Savings, error) {
+	m, err := core.New(p, sigma, avail)
+	if err != nil {
+		return Savings{}, err
+	}
+	s := Savings{
+		N:        m.N(),
+		Rn:       m.Rn(),
+		E:        m.NoIITExecTime(),
+		EHat:     m.ExecTime(),
+		Absolute: m.NoIITExecTime() - m.ExecTime(),
+	}
+	if s.E > 0 {
+		s.Relative = s.Absolute / s.E
+	}
+	return s, nil
+}
+
+// GapSweep evaluates the savings when `early` nodes are available at time
+// 0 and `late` nodes become available after each of the given gaps — the
+// canonical "task waits for a running task's nodes" scenario of Sec. 4.1.
+func GapSweep(p dlt.Params, sigma float64, early, late int, gaps []float64) ([]Savings, error) {
+	if early < 0 || late < 0 || early+late < 1 {
+		return nil, fmt.Errorf("analysis: invalid split early=%d late=%d", early, late)
+	}
+	out := make([]Savings, 0, len(gaps))
+	for _, g := range gaps {
+		if g < 0 {
+			return nil, fmt.Errorf("analysis: negative gap %v", g)
+		}
+		avail := make([]float64, 0, early+late)
+		for i := 0; i < early; i++ {
+			avail = append(avail, 0)
+		}
+		for i := 0; i < late; i++ {
+			avail = append(avail, g)
+		}
+		s, err := ComputeSavings(p, sigma, avail)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Tightness compares the paper's closed-form node bound against the true
+// minimum certified by the Eq. 6 estimate.
+type Tightness struct {
+	Bound int // ñ_min(slack at start floor) — the paper's approximation
+	True  int // minimal n whose Eq. 6 estimate meets the deadline
+	Ok    bool
+}
+
+// TrueMinNodes searches (over the earliest-available prefixes of the
+// sorted availability vector) for the smallest node count whose
+// heterogeneous-model completion estimate meets the absolute deadline,
+// with starts clamped to the floor. ok is false when even all nodes miss.
+func TrueMinNodes(p dlt.Params, sigma, absDeadline, floor float64, avail []float64) (n int, ok bool) {
+	sorted := append([]float64(nil), avail...)
+	sort.Float64s(sorted)
+	for i, t := range sorted {
+		sorted[i] = math.Max(t, floor)
+	}
+	for k := 1; k <= len(sorted); k++ {
+		m, err := core.New(p, sigma, sorted[:k])
+		if err != nil {
+			return 0, false
+		}
+		if m.EstCompletion() <= absDeadline*(1+1e-12) {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// BoundTightness evaluates both quantities for one scenario. The bound can
+// under- or over-shoot the true minimum: it ignores both the waiting for
+// busy nodes (under) and the IIT gains (over).
+func BoundTightness(p dlt.Params, sigma, absDeadline, floor float64, avail []float64) Tightness {
+	var t Tightness
+	b, okB := dlt.MinNodesBound(p, sigma, absDeadline-floor)
+	if okB {
+		t.Bound = b
+	}
+	n, okN := TrueMinNodes(p, sigma, absDeadline, floor, avail)
+	t.True = n
+	t.Ok = okB && okN
+	return t
+}
+
+// FormatSavingsTable renders a GapSweep result as an aligned table.
+func FormatSavingsTable(gaps []float64, rows []Savings) string {
+	out := fmt.Sprintf("%-10s %10s %10s %10s %8s\n", "gap", "E", "Ê", "saving", "rel")
+	for i, s := range rows {
+		out += fmt.Sprintf("%-10.4g %10.1f %10.1f %10.1f %7.1f%%\n",
+			gaps[i], s.E, s.EHat, s.Absolute, 100*s.Relative)
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"rtdls/internal/dlt"
+)
+
+var baseline = dlt.Params{Cms: 1, Cps: 100}
+
+func TestComputeSavingsNoGap(t *testing.T) {
+	s, err := ComputeSavings(baseline, 200, []float64{5, 5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Absolute > 1e-9 || s.Relative > 1e-12 {
+		t.Fatalf("equal availability must save nothing: %+v", s)
+	}
+	if s.N != 4 || s.Rn != 5 {
+		t.Fatalf("metadata wrong: %+v", s)
+	}
+}
+
+func TestComputeSavingsGrowsWithGap(t *testing.T) {
+	gaps := []float64{0, 100, 500, 1000, 2000}
+	rows, err := GapSweep(baseline, 200, 6, 4, gaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for i, s := range rows {
+		if s.Absolute < prev-1e-9 {
+			t.Fatalf("savings not monotone in gap at %v", gaps[i])
+		}
+		if s.Relative < -1e-12 || s.Relative > 1 {
+			t.Fatalf("relative saving out of range: %+v", s)
+		}
+		prev = s.Absolute
+	}
+	if rows[len(rows)-1].Relative < 0.2 {
+		t.Fatalf("gap ≈ E should save >20%%, got %v", rows[len(rows)-1].Relative)
+	}
+}
+
+func TestGapSweepValidation(t *testing.T) {
+	if _, err := GapSweep(baseline, 1, 0, 0, []float64{1}); err == nil {
+		t.Fatalf("empty cluster must fail")
+	}
+	if _, err := GapSweep(baseline, 1, -1, 2, []float64{1}); err == nil {
+		t.Fatalf("negative early must fail")
+	}
+	if _, err := GapSweep(baseline, 1, 1, 1, []float64{-3}); err == nil {
+		t.Fatalf("negative gap must fail")
+	}
+	if _, err := ComputeSavings(baseline, -1, []float64{0}); err == nil {
+		t.Fatalf("invalid sigma must fail")
+	}
+}
+
+func TestTrueMinNodesIdleCluster(t *testing.T) {
+	// Idle cluster: the true minimum equals the bound (no IITs, the bound's
+	// derivation is exact up to the E ≥ Ê slack which is zero here).
+	avail := make([]float64, 16)
+	n, ok := TrueMinNodes(baseline, 200, 2718, 0, avail)
+	if !ok {
+		t.Fatalf("expected feasible")
+	}
+	b, okB := dlt.MinNodesBound(baseline, 200, 2718)
+	if !okB || n > b {
+		t.Fatalf("true min %d exceeds bound %d on an idle cluster", n, b)
+	}
+}
+
+func TestTrueMinNodesInfeasible(t *testing.T) {
+	if _, ok := TrueMinNodes(baseline, 200, 150, 0, make([]float64, 4)); ok {
+		t.Fatalf("sub-transmission deadline must be infeasible")
+	}
+}
+
+// TestBoundVsTrue: ñ_min(t) evaluated at the start floor never
+// over-provisions relative to the Eq. 6 estimate — the IIT saving E−Ê is
+// always smaller than the waiting time r_n that produces it, so a node
+// count the bound rejects can never be rescued by IITs alone. It can
+// under-provision (it ignores the wait for busy nodes); that is what the
+// scheduler's expansion rule compensates for. Both facts must be
+// observable.
+func TestBoundVsTrue(t *testing.T) {
+	rng := rand.New(rand.NewPCG(61, 62))
+	undershoot, exact := 0, 0
+	for trial := 0; trial < 400; trial++ {
+		n := 4 + rng.IntN(13)
+		avail := make([]float64, n)
+		busy := rng.IntN(2) == 0
+		for i := range avail {
+			if busy {
+				avail[i] = 2500 * rng.Float64()
+			}
+		}
+		sigma := 20 + 300*rng.Float64()
+		absD := 1500 + 5000*rng.Float64()
+		tt := BoundTightness(baseline, sigma, absD, 0, avail)
+		if !tt.Ok {
+			continue
+		}
+		if tt.Bound > tt.True {
+			t.Fatalf("bound %d over-provisions vs true %d (savings cannot exceed the wait)",
+				tt.Bound, tt.True)
+		}
+		if tt.Bound < tt.True {
+			undershoot++
+		} else {
+			exact++
+		}
+		if !busy && tt.Bound != tt.True {
+			t.Fatalf("idle cluster: bound %d must be exact, true %d", tt.Bound, tt.True)
+		}
+	}
+	if undershoot == 0 {
+		t.Fatalf("never observed the bound under-providing (waiting ignored)")
+	}
+	if exact == 0 {
+		t.Fatalf("never observed the bound being exact")
+	}
+}
+
+func TestFormatSavingsTable(t *testing.T) {
+	gaps := []float64{0, 500}
+	rows, err := GapSweep(baseline, 200, 6, 4, gaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatSavingsTable(gaps, rows)
+	if !strings.Contains(out, "saving") || !strings.Contains(out, "%") {
+		t.Fatalf("table malformed:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 3 {
+		t.Fatalf("row count wrong:\n%s", out)
+	}
+}

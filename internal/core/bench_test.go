@@ -1,0 +1,44 @@
+package core
+
+import "testing"
+
+func benchAvail(n int) []float64 {
+	avail := make([]float64, n)
+	for i := range avail {
+		avail[i] = float64(i%4) * 400
+	}
+	return avail
+}
+
+func BenchmarkHetModel16(b *testing.B) {
+	avail := benchAvail(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(baseline, 200, avail); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHetModel64(b *testing.B) {
+	avail := benchAvail(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(baseline, 200, avail); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTheorem4Check(b *testing.B) {
+	m, err := New(baseline, 200, benchAvail(16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := m.CheckTheorem4(); !ok {
+			b.Fatal("theorem violated")
+		}
+	}
+}

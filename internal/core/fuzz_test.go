@@ -1,0 +1,45 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzModelInvariants fuzzes the heterogeneous-model construction over a
+// four-node availability vector: partition validity, Eq. 9 and Theorem 4
+// must hold for any finite input the constructor accepts.
+func FuzzModelInvariants(f *testing.F) {
+	f.Add(200.0, 0.0, 100.0, 600.0, 1300.0)
+	f.Add(1.0, 0.0, 0.0, 0.0, 0.0)
+	f.Add(55.5, 10.0, 10.0, 1e7, 1e7)
+	f.Fuzz(func(t *testing.T, sigma, r1, r2, r3, r4 float64) {
+		if !(sigma > 0) || sigma > 1e9 {
+			t.Skip()
+		}
+		for _, r := range []float64{r1, r2, r3, r4} {
+			if math.IsNaN(r) || math.IsInf(r, 0) || math.Abs(r) > 1e12 {
+				t.Skip()
+			}
+		}
+		m, err := New(baseline, sigma, []float64{r1, r2, r3, r4})
+		if err != nil {
+			t.Skip()
+		}
+		sum := 0.0
+		for _, a := range m.Alphas() {
+			if a < 0 || a > 1+1e-9 || math.IsNaN(a) {
+				t.Fatalf("invalid alpha %v", a)
+			}
+			sum += a
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("alphas sum to %v", sum)
+		}
+		if !m.CheckEq9() {
+			t.Fatalf("Eq. 9 violated: Ê=%v E=%v", m.ExecTime(), m.NoIITExecTime())
+		}
+		if _, ok := m.CheckTheorem4(); !ok {
+			t.Fatalf("Theorem 4 violated")
+		}
+	})
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestMakespanForMatchesExecTime: evaluating the model's own partition
+// reproduces Ê exactly.
+func TestMakespanForMatchesExecTime(t *testing.T) {
+	rng := rand.New(rand.NewPCG(51, 52))
+	for trial := 0; trial < 300; trial++ {
+		m := randModel(rng)
+		got := m.MakespanFor(m.Alphas())
+		almostEq(t, got, m.ExecTime(), 1e-9, "MakespanFor(Alphas) == Ê")
+	}
+}
+
+// TestPartitionIsOptimal is the deepest validation of Eqs. 4–5: the
+// model's α vector minimises the heterogeneous-model makespan. Any
+// perturbation that moves load between two nodes (keeping Σα = 1 and
+// α ≥ 0) must not finish earlier.
+func TestPartitionIsOptimal(t *testing.T) {
+	rng := rand.New(rand.NewPCG(53, 54))
+	for trial := 0; trial < 200; trial++ {
+		m := randModel(rng)
+		n := m.N()
+		if n < 2 {
+			continue
+		}
+		base := m.ExecTime()
+		alphas := m.Alphas()
+		for probe := 0; probe < 25; probe++ {
+			i, j := rng.IntN(n), rng.IntN(n)
+			if i == j {
+				continue
+			}
+			eps := rng.Float64() * 0.5 * alphas[i]
+			perturbed := make([]float64, n)
+			copy(perturbed, alphas)
+			perturbed[i] -= eps
+			perturbed[j] += eps
+			if got := m.MakespanFor(perturbed); got < base*(1-1e-9) {
+				t.Fatalf("perturbation improved the optimum: %v < %v (n=%d, i=%d, j=%d, eps=%v)",
+					got, base, n, i, j, eps)
+			}
+		}
+	}
+}
+
+// TestUniformPartitionNeverBeatsOptimal: the User-Split equal partition
+// evaluated on the same heterogeneous model is at best equal to the DLT
+// optimum — the analytical root of the Fig. 5 results.
+func TestUniformPartitionNeverBeatsOptimal(t *testing.T) {
+	rng := rand.New(rand.NewPCG(55, 56))
+	for trial := 0; trial < 300; trial++ {
+		m := randModel(rng)
+		n := m.N()
+		uniform := make([]float64, n)
+		for i := range uniform {
+			uniform[i] = 1 / float64(n)
+		}
+		if got := m.MakespanFor(uniform); got < m.ExecTime()*(1-1e-9) {
+			t.Fatalf("uniform partition beat the optimum: %v < %v (n=%d)", got, m.ExecTime(), n)
+		}
+	}
+}
+
+func TestMakespanForPanics(t *testing.T) {
+	m, err := New(baseline, 10, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on length mismatch")
+		}
+	}()
+	m.MakespanFor([]float64{1})
+}

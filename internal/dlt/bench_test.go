@@ -1,0 +1,58 @@
+package dlt
+
+import "testing"
+
+func BenchmarkExecTime(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += baseline.ExecTime(200, 16)
+	}
+	_ = sink
+}
+
+func BenchmarkAlphas16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = baseline.Alphas(16)
+	}
+}
+
+func BenchmarkAlphas256(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = baseline.Alphas(256)
+	}
+}
+
+func BenchmarkMinNodesBound(b *testing.B) {
+	var n int
+	for i := 0; i < b.N; i++ {
+		n, _ = MinNodesBound(baseline, 200, 2718)
+	}
+	_ = n
+}
+
+func BenchmarkSimulateDispatch16(b *testing.B) {
+	avail := make([]float64, 16)
+	for i := range avail {
+		avail[i] = float64(i * 50)
+	}
+	alphas := baseline.Alphas(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateDispatch(baseline, 200, avail, alphas); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUserSplitDispatch16(b *testing.B) {
+	avail := make([]float64, 16)
+	for i := range avail {
+		avail[i] = float64(i * 50)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := UserSplitDispatch(baseline, 200, avail); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package dlt
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dispatch records the exact timeline of a single-round sequential dispatch
+// of a partitioned divisible load: the head node sends chunk i to node i
+// only after finishing the transmission to node i-1, and a chunk cannot be
+// sent before its node is available. Node i computes its chunk immediately
+// after receiving it.
+//
+// All slices are indexed by node position (the same order as the avail
+// vector passed to SimulateDispatch, i.e. nodes sorted by available time).
+type Dispatch struct {
+	SendStart []float64 // b_i: when transmission of chunk i begins
+	SendEnd   []float64 // f_i = b_i + αᵢ·σ·Cms: when node i has its data
+	Finish    []float64 // f_i + αᵢ·σ·Cps: when node i finishes computing
+	// Completion is the task completion time, max_i Finish[i].
+	Completion float64
+}
+
+// SimulateDispatch computes the exact per-node timeline for distributing a
+// load σ partitioned by alphas to nodes with the given available times.
+//
+// avail must be sorted in non-decreasing order (the transmission order is
+// the node order, and the paper always transmits to the earliest-available
+// node first). alphas must have the same length as avail, with non-negative
+// entries; it need not sum to exactly 1 (callers may dispatch a fraction of
+// a task, as the multi-round extension does).
+//
+// This is the machinery behind Theorem 4: the actual per-node finish times
+// it returns are compared against the heterogeneous-model estimate.
+func SimulateDispatch(p Params, sigma float64, avail, alphas []float64) (*Dispatch, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(avail)
+	if n == 0 {
+		return nil, fmt.Errorf("dlt: SimulateDispatch needs at least one node")
+	}
+	if len(alphas) != n {
+		return nil, fmt.Errorf("dlt: SimulateDispatch: %d avail times but %d alphas", n, len(alphas))
+	}
+	if sigma < 0 || math.IsNaN(sigma) || math.IsInf(sigma, 0) {
+		return nil, fmt.Errorf("dlt: SimulateDispatch: invalid sigma %v", sigma)
+	}
+	for i := 1; i < n; i++ {
+		if avail[i] < avail[i-1] {
+			return nil, fmt.Errorf("dlt: SimulateDispatch: avail times not sorted (avail[%d]=%v < avail[%d]=%v)",
+				i, avail[i], i-1, avail[i-1])
+		}
+	}
+	d := &Dispatch{
+		SendStart:  make([]float64, n),
+		SendEnd:    make([]float64, n),
+		Finish:     make([]float64, n),
+		Completion: math.Inf(-1), // max over finishes; times may be negative
+	}
+	linkFree := math.Inf(-1)
+	for i := 0; i < n; i++ {
+		if alphas[i] < 0 {
+			return nil, fmt.Errorf("dlt: SimulateDispatch: negative alpha[%d]=%v", i, alphas[i])
+		}
+		b := math.Max(avail[i], linkFree)
+		send := alphas[i] * sigma * p.Cms
+		comp := alphas[i] * sigma * p.Cps
+		d.SendStart[i] = b
+		d.SendEnd[i] = b + send
+		d.Finish[i] = b + send + comp
+		linkFree = d.SendEnd[i]
+		if d.Finish[i] > d.Completion {
+			d.Completion = d.Finish[i]
+		}
+	}
+	return d, nil
+}

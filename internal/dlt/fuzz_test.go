@@ -1,0 +1,86 @@
+package dlt
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzMinNodesBound fuzzes the node-count bound: whenever it declares a
+// task feasible, the no-IIT execution time on the returned node count must
+// fit in the slack; whenever it rejects, the slack must genuinely be below
+// the transmission floor.
+func FuzzMinNodesBound(f *testing.F) {
+	f.Add(1.0, 100.0, 200.0, 2718.0)
+	f.Add(0.5, 10.0, 1.0, 5.0)
+	f.Add(8.0, 10000.0, 800.0, 1e6)
+	f.Add(0.001, 0.01, 0.1, 0.2)
+	f.Fuzz(func(t *testing.T, cms, cps, sigma, slack float64) {
+		p := Params{Cms: cms, Cps: cps}
+		if p.Validate() != nil {
+			t.Skip()
+		}
+		if !(sigma > 0) || !(slack > 0) || math.IsInf(sigma, 0) || math.IsInf(slack, 0) {
+			t.Skip()
+		}
+		if sigma > 1e12 || slack > 1e15 || cms > 1e9 || cps > 1e9 {
+			t.Skip() // keep the arithmetic in a range where fp guarantees hold
+		}
+		n, ok := MinNodesBound(p, sigma, slack)
+		if !ok {
+			if slack > sigma*p.Cms*(1+1e-9) {
+				t.Fatalf("rejected although transmission fits: slack=%v σCms=%v", slack, sigma*p.Cms)
+			}
+			return
+		}
+		if n < 1 {
+			t.Fatalf("non-positive node count %d", n)
+		}
+		if n > 1<<40 {
+			return // astronomically tight; ExecTime would be degenerate
+		}
+		if e := p.ExecTime(sigma, n); e > slack*(1+1e-6) {
+			t.Fatalf("bound unsound: E(σ,%d)=%v > slack=%v", n, e, slack)
+		}
+	})
+}
+
+// FuzzSimulateDispatch fuzzes the dispatch timeline invariants for a
+// three-node cluster: link exclusivity, availability causality and the
+// completion being the max finish.
+func FuzzSimulateDispatch(f *testing.F) {
+	f.Add(200.0, 0.0, 10.0, 500.0, 0.5, 0.3, 0.2)
+	f.Add(1.0, 5.0, 5.0, 5.0, 1.0, 0.0, 0.0)
+	f.Fuzz(func(t *testing.T, sigma, a1, a2, a3, x1, x2, x3 float64) {
+		if !(sigma >= 0) || sigma > 1e9 || math.IsInf(sigma, 0) {
+			t.Skip()
+		}
+		for _, v := range []float64{a1, a2, a3, x1, x2, x3} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				t.Skip()
+			}
+		}
+		if x1 < 0 || x2 < 0 || x3 < 0 {
+			t.Skip()
+		}
+		avail := []float64{a1, a2, a3}
+		if avail[1] < avail[0] || avail[2] < avail[1] {
+			t.Skip()
+		}
+		alphas := []float64{x1, x2, x3}
+		d, err := SimulateDispatch(baseline, sigma, avail, alphas)
+		if err != nil {
+			t.Skip()
+		}
+		for i := 0; i < 3; i++ {
+			if d.SendStart[i] < avail[i] {
+				t.Fatalf("send %d before availability", i)
+			}
+			if i > 0 && d.SendStart[i] < d.SendEnd[i-1]-1e-9 {
+				t.Fatalf("link not exclusive at %d", i)
+			}
+			if d.Finish[i] > d.Completion+1e-9 {
+				t.Fatalf("finish beyond completion")
+			}
+		}
+	})
+}

@@ -1,0 +1,48 @@
+package dlt
+
+import (
+	"fmt"
+	"math"
+)
+
+// UserSplitDispatch computes the exact completion timeline of the
+// User-Split partitioning method (Sec. 4.1.2 of the paper): the task is
+// split into n = len(avail) equal chunks, one per node, dispatched
+// sequentially in order of node availability. It is equivalent to
+// SimulateDispatch with EqualAlphas and matches the paper's recurrence
+//
+//	s₁ = r₁,  sᵢ = max(rᵢ, sᵢ₋₁ + σ·Cms/n)
+//	Cᵢ = sᵢ + σ·Cms/n + σ·Cps/n,  C = Cₙ
+//
+// exactly (the send start sᵢ here is Dispatch.SendStart[i]).
+func UserSplitDispatch(p Params, sigma float64, avail []float64) (*Dispatch, error) {
+	if len(avail) == 0 {
+		return nil, fmt.Errorf("dlt: UserSplitDispatch needs at least one node")
+	}
+	return SimulateDispatch(p, sigma, avail, EqualAlphas(len(avail)))
+}
+
+// UserSplitMinNodes returns Nmin = ⌈σ·Cps / (D − σ·Cms)⌉, the minimum
+// number of equal chunks that lets a task with data size σ and relative
+// deadline D meet its deadline when started immediately upon arrival on an
+// otherwise idle cluster (Sec. 4.1.2). ok is false when the deadline cannot
+// be met by any number of nodes, i.e. when D ≤ σ·Cms (the input data alone
+// cannot be shipped in time).
+func UserSplitMinNodes(p Params, sigma, relDeadline float64) (n int, ok bool) {
+	if sigma < 0 || relDeadline <= 0 {
+		return 0, false
+	}
+	if sigma == 0 {
+		return 1, true
+	}
+	slack := relDeadline - sigma*p.Cms
+	if slack <= 0 {
+		return 0, false
+	}
+	x := sigma * p.Cps / slack
+	n = int(math.Ceil(x - ceilGuard))
+	if n < 1 {
+		n = 1
+	}
+	return n, true
+}

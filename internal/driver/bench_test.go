@@ -1,0 +1,29 @@
+package driver
+
+import "testing"
+
+// BenchmarkRun measures one full end-to-end simulation (arrivals,
+// schedulability tests, commits, metrics) at the baseline configuration
+// and 1e5 time units per algorithm.
+func BenchmarkRun(b *testing.B) {
+	for _, alg := range Algorithms() {
+		b.Run(alg, func(b *testing.B) {
+			cfg := Default()
+			cfg.Algorithm = alg
+			cfg.SystemLoad = 0.8
+			cfg.Horizon = 1e5
+			cfg.Seed = 9
+			var arrivals int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				arrivals = r.Arrivals
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(arrivals), "tasks/run")
+		})
+	}
+}

@@ -1,0 +1,257 @@
+// Package driver binds the substrates into one end-to-end simulation run:
+// a workload generator feeds arrivals through the schedulability test of an
+// rt.Scheduler over a cluster, driven by the discrete-event engine, and the
+// run's admission and execution metrics are collected into a Result.
+package driver
+
+import (
+	"fmt"
+	"math"
+
+	"rtdls/internal/cluster"
+	"rtdls/internal/dlt"
+	"rtdls/internal/multiround"
+	"rtdls/internal/rt"
+	"rtdls/internal/sim"
+	"rtdls/internal/workload"
+)
+
+// Algorithm names accepted by Config.Algorithm.
+const (
+	AlgDLTIIT    = "dlt-iit"    // this paper: DLT partitioning utilising IITs
+	AlgOPRMN     = "opr-mn"     // [22] baseline: optimal partition, min nodes, no IITs
+	AlgOPRAN     = "opr-an"     // [22]: always all N nodes
+	AlgUserSplit = "user-split" // manual equal split, user-chosen node count
+	AlgDLTMR     = "dlt-mr"     // multi-round extension of dlt-iit (paper §6)
+)
+
+// Algorithms lists every supported algorithm name.
+func Algorithms() []string {
+	return []string{AlgDLTIIT, AlgOPRMN, AlgOPRAN, AlgUserSplit, AlgDLTMR}
+}
+
+// Config fully specifies one simulation run. The zero value is not usable;
+// see Default for the paper's baseline.
+type Config struct {
+	N          int     // processing nodes
+	Cms        float64 // unit transmission cost
+	Cps        float64 // unit processing cost
+	Policy     string  // "edf" or "fifo"
+	Algorithm  string  // one of the Alg* constants
+	SystemLoad float64
+	AvgSigma   float64
+	DCRatio    float64
+	Horizon    float64 // arrival window; the run drains remaining work after it
+	Seed       uint64
+	Rounds     int // dispatch rounds for AlgDLTMR (default 2)
+
+	Observer rt.Observer // optional lifecycle hooks
+}
+
+// Default returns the paper's baseline configuration (Sec. 5.1): N=16,
+// Cms=1, Cps=100, Avgσ=200, DCRatio=2, EDF-DLT, horizon 10⁷.
+func Default() Config {
+	return Config{
+		N: 16, Cms: 1, Cps: 100,
+		Policy: "edf", Algorithm: AlgDLTIIT,
+		SystemLoad: 0.5, AvgSigma: 200, DCRatio: 2,
+		Horizon: 1e7, Seed: 1,
+	}
+}
+
+// Params returns the cluster cost parameters.
+func (c Config) Params() dlt.Params { return dlt.Params{Cms: c.Cms, Cps: c.Cps} }
+
+// NewPartitioner constructs the rt.Partitioner named by the configuration.
+func (c Config) NewPartitioner() (rt.Partitioner, error) {
+	switch c.Algorithm {
+	case AlgDLTIIT:
+		return rt.IITDLT{}, nil
+	case AlgOPRMN:
+		return rt.OPR{}, nil
+	case AlgOPRAN:
+		return rt.OPR{AllNodes: true}, nil
+	case AlgUserSplit:
+		return rt.UserSplit{}, nil
+	case AlgDLTMR:
+		r := c.Rounds
+		if r == 0 {
+			r = 2
+		}
+		return multiround.New(r)
+	default:
+		return nil, fmt.Errorf("driver: unknown algorithm %q (want one of %v)", c.Algorithm, Algorithms())
+	}
+}
+
+// Result aggregates one run's metrics.
+type Result struct {
+	Config Config
+
+	Arrivals int
+	Accepted int
+	Rejected int
+	// RejectRatio = Rejected/Arrivals, the paper's evaluation metric.
+	RejectRatio float64
+
+	Committed int
+	// MeanResponse is the mean actual completion − arrival over committed
+	// tasks; MeanNodes the mean assigned node count.
+	MeanResponse float64
+	MeanNodes    float64
+	// MaxLateness is max(actual completion − absolute deadline) over
+	// committed tasks. The real-time guarantee requires it to be ≤ 0.
+	MaxLateness float64
+	// MeanEstSlack is the mean (estimate − actual completion): how
+	// conservative the Theorem-4 estimate was in practice.
+	MeanEstSlack float64
+
+	Utilization      float64 // busy node·time / (N × span)
+	ReservedIdleFrac float64 // wasted IIT node·time / (N × span), OPR only
+	MaxQueueLen      int
+	Span             float64 // max(horizon, last committed release)
+}
+
+// Run executes one simulation and returns its metrics.
+func Run(cfg Config) (*Result, error) {
+	pol, err := rt.ParsePolicy(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	part, err := cfg.NewPartitioner()
+	if err != nil {
+		return nil, err
+	}
+	cl, err := cluster.New(cfg.N, cfg.Params())
+	if err != nil {
+		return nil, err
+	}
+	gen, err := workload.New(workload.Config{
+		N: cfg.N, Params: cfg.Params(),
+		SystemLoad: cfg.SystemLoad, AvgSigma: cfg.AvgSigma,
+		DCRatio: cfg.DCRatio, Horizon: cfg.Horizon, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	sched := rt.NewScheduler(cl, pol, part)
+	if cfg.Observer != nil {
+		sched.SetObserver(cfg.Observer)
+	}
+
+	res := &Result{Config: cfg, MaxLateness: math.Inf(-1)}
+	var (
+		s            = sim.New()
+		commitHandle sim.Handle
+		runErr       error
+		respSum      float64
+		slackSum     float64
+		nodeSum      int
+	)
+
+	fail := func(err error) {
+		if runErr == nil {
+			runErr = err
+		}
+	}
+
+	// onCommit processes plans whose first transmission is due and records
+	// execution metrics from the exact dispatch timeline.
+	var rearmCommit func()
+	onCommit := func() {
+		plans, err := sched.CommitDue(s.Now())
+		if err != nil {
+			fail(err)
+			return
+		}
+		for _, pl := range plans {
+			// Multi-round plans carry an exact simulated Est, and
+			// OPR-style plans complete exactly at Est (all nodes start at
+			// r_n); only staggered single-round dispatches need the
+			// timeline re-simulated for the actual completion.
+			actual := pl.Est
+			if pl.Rounds <= 1 && !pl.SimultaneousStart {
+				d, err := dlt.SimulateDispatch(cl.Params(), pl.Task.Sigma, pl.Starts, pl.Alphas)
+				if err != nil {
+					fail(fmt.Errorf("driver: dispatching task %d: %w", pl.Task.ID, err))
+					return
+				}
+				actual = d.Completion
+			}
+			res.Committed++
+			respSum += actual - pl.Task.Arrival
+			slackSum += pl.Est - actual
+			nodeSum += len(pl.Nodes)
+			if l := actual - pl.Task.AbsDeadline(); l > res.MaxLateness {
+				res.MaxLateness = l
+			}
+		}
+		rearmCommit()
+	}
+	rearmCommit = func() {
+		commitHandle.Cancel()
+		if at, ok := sched.NextCommit(); ok {
+			commitHandle = s.AtPrio(at, sim.PrioCommit, onCommit)
+		}
+	}
+
+	// Arrival chain: each arrival event submits its task and schedules the
+	// next arrival.
+	var onArrival func(t *rt.Task)
+	scheduleNext := func() {
+		if t, ok := gen.Next(); ok {
+			s.AtPrio(t.Arrival, sim.PrioArrival, func() { onArrival(t) })
+		}
+	}
+	onArrival = func(t *rt.Task) {
+		res.Arrivals++
+		accepted, err := sched.Submit(t, s.Now())
+		if err != nil {
+			fail(err)
+			return
+		}
+		if accepted {
+			res.Accepted++
+		} else {
+			res.Rejected++
+		}
+		rearmCommit()
+		scheduleNext()
+	}
+	scheduleNext()
+
+	// Run to completion: arrivals stop at the horizon, then the waiting
+	// queue drains through its remaining commit events.
+	for runErr == nil && s.Step() {
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	if sched.QueueLen() != 0 {
+		return nil, fmt.Errorf("driver: %d tasks still waiting after drain", sched.QueueLen())
+	}
+	if res.Arrivals != res.Accepted+res.Rejected {
+		return nil, fmt.Errorf("driver: accounting mismatch: %d arrivals != %d accepted + %d rejected",
+			res.Arrivals, res.Accepted, res.Rejected)
+	}
+	if res.Committed != res.Accepted {
+		return nil, fmt.Errorf("driver: %d committed != %d accepted", res.Committed, res.Accepted)
+	}
+
+	if res.Arrivals > 0 {
+		res.RejectRatio = float64(res.Rejected) / float64(res.Arrivals)
+	}
+	if res.Committed > 0 {
+		res.MeanResponse = respSum / float64(res.Committed)
+		res.MeanEstSlack = slackSum / float64(res.Committed)
+		res.MeanNodes = float64(nodeSum) / float64(res.Committed)
+	} else {
+		res.MaxLateness = 0
+	}
+	res.Span = math.Max(cfg.Horizon, cl.LastRelease())
+	res.Utilization = cl.Utilization(res.Span)
+	res.ReservedIdleFrac = cl.ReservedIdle() / (float64(cfg.N) * res.Span)
+	res.MaxQueueLen = sched.MaxQueueLen()
+	return res, nil
+}

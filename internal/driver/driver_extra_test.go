@@ -1,0 +1,145 @@
+package driver
+
+import (
+	"math"
+	"testing"
+)
+
+// TestDrainBeyondHorizon: tasks admitted shortly before the horizon still
+// commit during the drain phase; accounting must balance exactly.
+func TestDrainBeyondHorizon(t *testing.T) {
+	cfg := Default()
+	cfg.SystemLoad = 1.0
+	cfg.Horizon = 2e5
+	cfg.Seed = 4
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Span <= cfg.Horizon {
+		t.Fatalf("span %v should extend beyond the horizon %v (drain)", r.Span, cfg.Horizon)
+	}
+	if r.Committed != r.Accepted {
+		t.Fatalf("drain incomplete: %d committed, %d accepted", r.Committed, r.Accepted)
+	}
+}
+
+// TestPairedSeedsShareWorkload: with the same seed, two algorithms see the
+// identical arrival count — the pairing property the experiment harness
+// depends on.
+func TestPairedSeedsShareWorkload(t *testing.T) {
+	a, err := Run(quickCfg(AlgDLTIIT, 0.8, 123))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(quickCfg(AlgUserSplit, 0.8, 123))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Run(quickCfg(AlgOPRMN, 0.8, 123))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Arrivals != b.Arrivals || a.Arrivals != c.Arrivals {
+		t.Fatalf("paired runs saw different workloads: %d/%d/%d",
+			a.Arrivals, b.Arrivals, c.Arrivals)
+	}
+}
+
+// TestRoundsPropagation: the configured installment count reaches the
+// multi-round partitioner and changes behaviour relative to rounds=1.
+func TestRoundsPropagation(t *testing.T) {
+	base := quickCfg(AlgDLTMR, 0.9, 6)
+	base.Rounds = 1
+	r1, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Rounds = 8
+	r8, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rounds=1 admits against the exact dispatch timeline instead of the
+	// Eq. 6 upper bound, so it can only do better than plain dlt-iit.
+	iit, err := Run(quickCfg(AlgDLTIIT, 0.9, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.RejectRatio > iit.RejectRatio+1e-9 {
+		t.Fatalf("dlt-mr rounds=1 (%v) worse than dlt-iit (%v)",
+			r1.RejectRatio, iit.RejectRatio)
+	}
+	if r8.RejectRatio > r1.RejectRatio+1e-9 {
+		t.Fatalf("more rounds should not reject more: %v vs %v", r8.RejectRatio, r1.RejectRatio)
+	}
+}
+
+// TestOverloadStillGuaranteed: far beyond saturation the reject ratio
+// climbs but admitted tasks still never miss.
+func TestOverloadStillGuaranteed(t *testing.T) {
+	cfg := quickCfg(AlgDLTIIT, 5.0, 8) // 5× overload
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RejectRatio < 0.5 {
+		t.Fatalf("5x overload should reject most tasks, got %v", r.RejectRatio)
+	}
+	if r.MaxLateness > 1e-6 {
+		t.Fatalf("deadline miss under overload: %v", r.MaxLateness)
+	}
+}
+
+// TestLowLoadNearZeroRejects: at 1% load with loose deadlines nearly
+// everything is admitted.
+func TestLowLoadNearZeroRejects(t *testing.T) {
+	cfg := quickCfg(AlgDLTIIT, 0.01, 2)
+	cfg.DCRatio = 10
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RejectRatio > 0.02 {
+		t.Fatalf("low load rejected %v", r.RejectRatio)
+	}
+}
+
+// TestUtilizationTracksLoad: utilization grows monotonically-ish with load
+// for the same seed (coarse sanity on the accounting).
+func TestUtilizationTracksLoad(t *testing.T) {
+	prev := -1.0
+	for _, load := range []float64{0.1, 0.4, 0.8} {
+		r, err := Run(quickCfg(AlgDLTIIT, load, 9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Utilization < prev-0.05 {
+			t.Fatalf("utilization dropped sharply with load: %v after %v", r.Utilization, prev)
+		}
+		prev = r.Utilization
+	}
+	if prev < 0.2 {
+		t.Fatalf("high-load utilization implausibly low: %v", prev)
+	}
+}
+
+// TestMeanEstSlackOnlyForIIT: the Theorem-4 slack is strictly positive in
+// aggregate for dlt-iit (staggered starts) and ~zero for opr-mn (estimate
+// exact).
+func TestMeanEstSlackOnlyForIIT(t *testing.T) {
+	d, err := Run(quickCfg(AlgDLTIIT, 0.9, 14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := Run(quickCfg(AlgOPRMN, 0.9, 14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MeanEstSlack <= 0 {
+		t.Fatalf("dlt-iit should have positive mean estimate slack, got %v", d.MeanEstSlack)
+	}
+	if math.Abs(o.MeanEstSlack) > 1e-6 {
+		t.Fatalf("opr-mn estimate should be exact, slack %v", o.MeanEstSlack)
+	}
+}

@@ -1,0 +1,52 @@
+// Package experiments encodes the paper's entire evaluation (Sec. 5,
+// Figures 3–16 plus the aggregate comparison and the unshown cluster-size
+// sweep) as data, and provides a parallel runner that regenerates every
+// panel: Task Reject Ratio vs SystemLoad, averaged over paired-seed runs,
+// with 95% confidence intervals.
+package experiments
+
+import "rtdls/internal/driver"
+
+// Algorithm names a (policy, partitioner) combination under its paper name.
+type Algorithm struct {
+	Name      string // paper nomenclature, e.g. "EDF-DLT"
+	Policy    string // "edf" or "fifo"
+	Algorithm string // driver algorithm identifier
+	Rounds    int    // multi-round installments (AlgDLTMR only)
+}
+
+// The algorithms evaluated in the paper plus the multi-round extension.
+var (
+	EDFDLT        = Algorithm{Name: "EDF-DLT", Policy: "edf", Algorithm: driver.AlgDLTIIT}
+	EDFOPRMN      = Algorithm{Name: "EDF-OPR-MN", Policy: "edf", Algorithm: driver.AlgOPRMN}
+	EDFOPRAN      = Algorithm{Name: "EDF-OPR-AN", Policy: "edf", Algorithm: driver.AlgOPRAN}
+	EDFUserSplit  = Algorithm{Name: "EDF-UserSplit", Policy: "edf", Algorithm: driver.AlgUserSplit}
+	FIFODLT       = Algorithm{Name: "FIFO-DLT", Policy: "fifo", Algorithm: driver.AlgDLTIIT}
+	FIFOOPRMN     = Algorithm{Name: "FIFO-OPR-MN", Policy: "fifo", Algorithm: driver.AlgOPRMN}
+	FIFOOPRAN     = Algorithm{Name: "FIFO-OPR-AN", Policy: "fifo", Algorithm: driver.AlgOPRAN}
+	FIFOUserSplit = Algorithm{Name: "FIFO-UserSplit", Policy: "fifo", Algorithm: driver.AlgUserSplit}
+)
+
+// EDFDLTMR returns the multi-round extension of EDF-DLT with R rounds.
+func EDFDLTMR(rounds int) Algorithm {
+	return Algorithm{
+		Name:      "EDF-DLT-MR" + itoa(rounds),
+		Policy:    "edf",
+		Algorithm: driver.AlgDLTMR,
+		Rounds:    rounds,
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

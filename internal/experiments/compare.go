@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Comparison aggregates head-to-head results between two algorithms across
+// many panel×load cells, reproducing the statistic of Sec. 5.2: in how many
+// configurations each side wins and with what reject-ratio gains.
+type Comparison struct {
+	AName, BName string
+	Cells        int
+	AWins        int // cells where A's mean reject ratio is strictly lower
+	BWins        int
+	Ties         int
+
+	// Gains are reject-ratio differences in the winner's favour.
+	AvgGainA, MaxGainA, MinGainA float64
+	AvgGainB, MaxGainB, MinGainB float64
+}
+
+// Compare scans the results for panels whose first two algorithms are
+// (aName, bName) in either order and aggregates every load cell.
+func Compare(results []*PanelResult, aName, bName string) (*Comparison, error) {
+	c := &Comparison{AName: aName, BName: bName, MinGainA: 1e300, MinGainB: 1e300}
+	for _, r := range results {
+		ai, bi := -1, -1
+		for i, a := range r.Panel.Algs {
+			switch a.Name {
+			case aName:
+				ai = i
+			case bName:
+				bi = i
+			}
+		}
+		if ai < 0 || bi < 0 {
+			continue
+		}
+		for _, cell := range r.Cells {
+			c.Cells++
+			av := cell.RejectRatio[ai].Mean
+			bv := cell.RejectRatio[bi].Mean
+			switch {
+			case av < bv:
+				c.AWins++
+				g := bv - av
+				c.AvgGainA += g
+				if g > c.MaxGainA {
+					c.MaxGainA = g
+				}
+				if g < c.MinGainA {
+					c.MinGainA = g
+				}
+			case bv < av:
+				c.BWins++
+				g := av - bv
+				c.AvgGainB += g
+				if g > c.MaxGainB {
+					c.MaxGainB = g
+				}
+				if g < c.MinGainB {
+					c.MinGainB = g
+				}
+			default:
+				c.Ties++
+			}
+		}
+	}
+	if c.Cells == 0 {
+		return nil, fmt.Errorf("experiments: no cells compare %q vs %q", aName, bName)
+	}
+	if c.AWins > 0 {
+		c.AvgGainA /= float64(c.AWins)
+	} else {
+		c.MinGainA = 0
+	}
+	if c.BWins > 0 {
+		c.AvgGainB /= float64(c.BWins)
+	} else {
+		c.MinGainB = 0
+	}
+	return c, nil
+}
+
+// String formats the comparison the way Sec. 5.2 reports it.
+func (c *Comparison) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s vs %s over %d simulations:\n", c.AName, c.BName, c.Cells)
+	fmt.Fprintf(&b, "  %s better: %d cells (%.2f%%); gains avg=%.3f max=%.3f min=%.3f\n",
+		c.AName, c.AWins, 100*float64(c.AWins)/float64(c.Cells),
+		c.AvgGainA, c.MaxGainA, c.MinGainA)
+	fmt.Fprintf(&b, "  %s better: %d cells (%.2f%%); gains avg=%.3f max=%.3f min=%.3f\n",
+		c.BName, c.BWins, 100*float64(c.BWins)/float64(c.Cells),
+		c.AvgGainB, c.MaxGainB, c.MinGainB)
+	fmt.Fprintf(&b, "  ties: %d\n", c.Ties)
+	return b.String()
+}

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickOpts() Options {
+	return Options{Horizon: 1.5e5, Runs: 2, BaseSeed: 7, Workers: 2}
+}
+
+func TestAllPanelsWellFormed(t *testing.T) {
+	panels := AllPanels()
+	if len(panels) < 60 {
+		t.Fatalf("expected the full figure inventory, got %d panels", len(panels))
+	}
+	seen := map[string]bool{}
+	for _, p := range panels {
+		if p.ID == "" || p.Figure == "" || p.Title == "" {
+			t.Fatalf("panel missing metadata: %+v", p)
+		}
+		if seen[p.ID] {
+			t.Fatalf("duplicate panel ID %s", p.ID)
+		}
+		seen[p.ID] = true
+		if p.N < 1 || p.Cms <= 0 || p.Cps <= 0 || p.AvgSigma <= 0 || p.DCRatio <= 0 {
+			t.Fatalf("panel %s has invalid parameters: %+v", p.ID, p)
+		}
+		if len(p.Algs) < 2 {
+			t.Fatalf("panel %s compares fewer than two algorithms", p.ID)
+		}
+		if len(p.Loads) != 10 {
+			t.Fatalf("panel %s does not sweep the paper's ten loads", p.ID)
+		}
+	}
+	// Every paper figure must be present.
+	for _, id := range []string{
+		"f03", "f04a", "f04d", "f05a", "f05b", "f06a", "f06d", "f07a", "f07d",
+		"f08a", "f08f", "f09a", "f10a", "f11a", "f12a", "f13a", "f14a", "f14h",
+		"f15a", "f16a", "f16h", "xNa", "xMR", "xAN",
+	} {
+		if !seen[id] {
+			t.Fatalf("missing panel %s", id)
+		}
+	}
+}
+
+func TestPanelByID(t *testing.T) {
+	p, ok := PanelByID("f05b")
+	if !ok || p.DCRatio != 10 {
+		t.Fatalf("PanelByID(f05b) = %+v, %v", p, ok)
+	}
+	if _, ok := PanelByID("nope"); ok {
+		t.Fatalf("unknown ID must not resolve")
+	}
+}
+
+func TestSeedForDistinctAndStable(t *testing.T) {
+	a := SeedFor(1, "f03", 0, 0)
+	b := SeedFor(1, "f03", 0, 1)
+	c := SeedFor(1, "f03", 1, 0)
+	d := SeedFor(1, "f04a", 0, 0)
+	e := SeedFor(2, "f03", 0, 0)
+	if a == b || a == c || a == d || a == e {
+		t.Fatalf("seeds collide: %v %v %v %v %v", a, b, c, d, e)
+	}
+	if a != SeedFor(1, "f03", 0, 0) {
+		t.Fatalf("seed not stable")
+	}
+}
+
+func TestRunBaselinePanel(t *testing.T) {
+	p, _ := PanelByID("f03")
+	p.Loads = []float64{0.2, 0.6, 1.0}
+	r, err := Run(p, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cells) != 3 {
+		t.Fatalf("%d cells", len(r.Cells))
+	}
+	for _, c := range r.Cells {
+		for ai, s := range c.RejectRatio {
+			if s.N != 2 {
+				t.Fatalf("load %v alg %d: %d runs", c.Load, ai, s.N)
+			}
+			if s.Mean < 0 || s.Mean > 1 {
+				t.Fatalf("reject ratio %v out of [0,1]", s.Mean)
+			}
+		}
+	}
+	// The headline ordering: EDF-DLT (alg 0) at or below EDF-OPR-MN (alg 1)
+	// in aggregate across the sweep.
+	var dlt, opr float64
+	for _, c := range r.Cells {
+		dlt += c.RejectRatio[0].Mean
+		opr += c.RejectRatio[1].Mean
+	}
+	if dlt > opr {
+		t.Fatalf("EDF-DLT aggregate %v above EDF-OPR-MN %v", dlt, opr)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	p, _ := PanelByID("f03")
+	p.Loads = []float64{0.5}
+	a, err := Run(p, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cells[0].RejectRatio[0].Mean != b.Cells[0].RejectRatio[0].Mean {
+		t.Fatalf("panel runs not deterministic")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	p, _ := PanelByID("f03")
+	p.Algs = nil
+	if _, err := Run(p, quickOpts()); err == nil {
+		t.Fatalf("panel without algorithms must fail")
+	}
+	p, _ = PanelByID("f03")
+	p.Loads = nil
+	if _, err := Run(p, quickOpts()); err == nil {
+		t.Fatalf("panel without loads must fail")
+	}
+}
+
+func TestFormats(t *testing.T) {
+	p, _ := PanelByID("f03")
+	p.Loads = []float64{0.4, 0.8}
+	r, err := Run(p, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := r.CSV()
+	if !strings.HasPrefix(csv, "load,EDF-DLT_mean") {
+		t.Fatalf("csv header wrong: %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+	if strings.Count(csv, "\n") != 3 { // header + two loads
+		t.Fatalf("csv rows: %q", csv)
+	}
+	dat := r.GnuplotDat()
+	if !strings.Contains(dat, "# Fig. 3a/3b") || !strings.Contains(dat, "0.40") {
+		t.Fatalf("gnuplot dat malformed: %q", dat)
+	}
+	tbl := r.Table()
+	if !strings.Contains(tbl, "EDF-OPR-MN") || !strings.Contains(tbl, "±") {
+		t.Fatalf("table malformed: %q", tbl)
+	}
+	aux := r.AuxCSV()
+	if !strings.HasPrefix(aux, "load,EDF-DLT_util,EDF-DLT_resp") {
+		t.Fatalf("aux csv header wrong: %q", strings.SplitN(aux, "\n", 2)[0])
+	}
+	if strings.Count(aux, "\n") != 3 {
+		t.Fatalf("aux csv rows: %q", aux)
+	}
+	chart := r.Chart(40, 10)
+	if !strings.Contains(chart, "Task Reject Ratio") {
+		t.Fatalf("chart missing labels: %q", chart)
+	}
+}
+
+func TestRunAllWithProgress(t *testing.T) {
+	panels := []Panel{}
+	for _, id := range []string{"f03", "f05a"} {
+		p, _ := PanelByID(id)
+		p.Loads = []float64{0.5}
+		panels = append(panels, p)
+	}
+	calls := 0
+	rs, err := RunAll(panels, quickOpts(), func(done, total int, p Panel) {
+		calls++
+		if total != 2 {
+			t.Fatalf("total = %d", total)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || calls != 2 {
+		t.Fatalf("results %d, progress calls %d", len(rs), calls)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	p, _ := PanelByID("f05a")
+	p.Loads = []float64{0.2, 0.5, 0.8}
+	r, err := Run(p, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compare([]*PanelResult{r}, "EDF-DLT", "EDF-UserSplit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cells != 3 {
+		t.Fatalf("cells = %d", c.Cells)
+	}
+	if c.AWins+c.BWins+c.Ties != c.Cells {
+		t.Fatalf("win accounting broken: %+v", c)
+	}
+	if c.String() == "" {
+		t.Fatalf("empty comparison string")
+	}
+	if _, err := Compare([]*PanelResult{r}, "EDF-DLT", "NoSuchAlg"); err == nil {
+		t.Fatalf("unknown algorithm must fail")
+	}
+}
+
+func TestEDFDLTMRNaming(t *testing.T) {
+	a := EDFDLTMR(4)
+	if a.Name != "EDF-DLT-MR4" || a.Rounds != 4 {
+		t.Fatalf("EDFDLTMR(4) = %+v", a)
+	}
+	if itoa(0) != "0" || itoa(123) != "123" {
+		t.Fatalf("itoa broken")
+	}
+}

@@ -1,0 +1,127 @@
+// Package plot renders simple ASCII line/scatter charts for terminal
+// output of the evaluation figures. It is intentionally small: distinct
+// per-series markers on a character grid with labelled axes — enough to see
+// who wins, by how much, and where curves cross.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker rune
+}
+
+// DefaultMarkers are assigned to series lacking an explicit marker.
+var DefaultMarkers = []rune{'o', '+', 'x', '*', '#', '@', '%', '&'}
+
+// Chart renders the series on a width×height grid (plot area, excluding
+// axis labels). Invalid dimensions are clamped to sensible minimums.
+func Chart(title, xlabel, ylabel string, series []Series, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		for i := range s.X {
+			if i >= len(s.Y) || math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+			points++
+		}
+	}
+	if points == 0 {
+		return title + "\n(no data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// Pad the y range slightly so extreme points are not drawn on the
+	// frame itself.
+	ypad := (ymax - ymin) * 0.05
+	ymin -= ypad
+	ymax += ypad
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = make([]rune, width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	for si, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = DefaultMarkers[si%len(DefaultMarkers)]
+		}
+		for i := range s.X {
+			if i >= len(s.Y) || math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			c := int(math.Round((s.X[i] - xmin) / (xmax - xmin) * float64(width-1)))
+			r := height - 1 - int(math.Round((s.Y[i]-ymin)/(ymax-ymin)*float64(height-1)))
+			if c >= 0 && c < width && r >= 0 && r < height {
+				grid[r][c] = marker
+			}
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for si, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = DefaultMarkers[si%len(DefaultMarkers)]
+		}
+		fmt.Fprintf(&b, "  %c %s", marker, s.Name)
+		if si != len(series)-1 {
+			b.WriteString("   ")
+		}
+	}
+	b.WriteString("\n")
+	yLabelTop := fmt.Sprintf("%.4g", ymax)
+	yLabelBot := fmt.Sprintf("%.4g", ymin)
+	labelW := len(yLabelTop)
+	if len(yLabelBot) > labelW {
+		labelW = len(yLabelBot)
+	}
+	for r := 0; r < height; r++ {
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%*s |", labelW, yLabelTop)
+		case height - 1:
+			fmt.Fprintf(&b, "%*s |", labelW, yLabelBot)
+		default:
+			fmt.Fprintf(&b, "%*s |", labelW, "")
+		}
+		b.WriteString(string(grid[r]))
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%*s +%s\n", labelW, "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%*s  %-*s%s\n", labelW, "", width-len(fmt.Sprintf("%.4g", xmax)),
+		fmt.Sprintf("%.4g", xmin), fmt.Sprintf("%.4g", xmax))
+	if xlabel != "" || ylabel != "" {
+		fmt.Fprintf(&b, "%*s  x: %s   y: %s\n", labelW, "", xlabel, ylabel)
+	}
+	return b.String()
+}

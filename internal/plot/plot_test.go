@@ -1,0 +1,84 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func twoSeries() []Series {
+	return []Series{
+		{Name: "A", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}},
+		{Name: "B", X: []float64{0, 1, 2}, Y: []float64{2, 1, 0}},
+	}
+}
+
+func TestChartBasics(t *testing.T) {
+	out := Chart("title", "load", "reject", twoSeries(), 40, 10)
+	for _, want := range []string{"title", "A", "B", "x: load", "y: reject"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Default markers must both appear in the plot area.
+	if !strings.ContainsRune(out, 'o') || !strings.ContainsRune(out, '+') {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+}
+
+func TestChartCustomMarker(t *testing.T) {
+	s := twoSeries()
+	s[0].Marker = '!'
+	out := Chart("", "", "", s, 30, 8)
+	if !strings.ContainsRune(out, '!') {
+		t.Fatalf("custom marker ignored:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	out := Chart("empty", "", "", nil, 40, 10)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart should say so: %q", out)
+	}
+	out = Chart("empty", "", "", []Series{{Name: "A"}}, 40, 10)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("series without points should be empty: %q", out)
+	}
+}
+
+func TestChartNaNSkipped(t *testing.T) {
+	s := []Series{{Name: "A", X: []float64{0, 1, 2}, Y: []float64{1, math.NaN(), 3}}}
+	out := Chart("", "", "", s, 30, 8)
+	if out == "" || strings.Contains(out, "NaN") {
+		t.Fatalf("NaN handling broken:\n%s", out)
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	// Single point and constant series must not divide by zero.
+	s := []Series{{Name: "A", X: []float64{1}, Y: []float64{5}}}
+	out := Chart("", "", "", s, 30, 8)
+	if !strings.ContainsRune(out, 'o') {
+		t.Fatalf("single point not drawn:\n%s", out)
+	}
+	s = []Series{{Name: "A", X: []float64{0, 1, 2}, Y: []float64{3, 3, 3}}}
+	out = Chart("", "", "", s, 30, 8)
+	if !strings.ContainsRune(out, 'o') {
+		t.Fatalf("constant series not drawn:\n%s", out)
+	}
+}
+
+func TestChartClampsTinyDimensions(t *testing.T) {
+	out := Chart("", "", "", twoSeries(), 1, 1)
+	if len(strings.Split(out, "\n")) < 6 {
+		t.Fatalf("dimensions not clamped:\n%s", out)
+	}
+}
+
+func TestMismatchedXYLengths(t *testing.T) {
+	s := []Series{{Name: "A", X: []float64{0, 1, 2, 3}, Y: []float64{1, 2}}}
+	out := Chart("", "", "", s, 30, 8) // must not panic
+	if out == "" {
+		t.Fatalf("no output")
+	}
+}

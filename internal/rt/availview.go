@@ -1,0 +1,83 @@
+package rt
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AvailView is a mutable view of per-node release times used while running
+// the schedulability test: the test stacks tentative assignments for every
+// task in the waiting queue on top of the committed cluster state, and
+// discards the view if any task would miss its deadline.
+//
+// Earliest returns the k nodes that become available soonest — the
+// "identify the earliest time t when AN(t) ≥ n" step of Fig. 2 generalised
+// to per-node release times.
+type AvailView struct {
+	times []float64 // per node id
+	order []int     // node ids sorted by (times, id)
+	srt   []float64 // times in sorted order, parallel to order
+	dirty bool
+}
+
+// NewAvailView wraps the given per-node release times. The slice is owned
+// by the view afterwards.
+func NewAvailView(times []float64) *AvailView {
+	v := &AvailView{
+		times: times,
+		order: make([]int, len(times)),
+		srt:   make([]float64, len(times)),
+		dirty: true,
+	}
+	return v
+}
+
+// N returns the number of nodes.
+func (v *AvailView) N() int { return len(v.times) }
+
+func (v *AvailView) ensureSorted() {
+	if !v.dirty {
+		return
+	}
+	for i := range v.order {
+		v.order[i] = i
+	}
+	sort.Slice(v.order, func(a, b int) bool {
+		ia, ib := v.order[a], v.order[b]
+		if v.times[ia] != v.times[ib] {
+			return v.times[ia] < v.times[ib]
+		}
+		return ia < ib
+	})
+	for i, id := range v.order {
+		v.srt[i] = v.times[id]
+	}
+	v.dirty = false
+}
+
+// Earliest returns the ids and release times of the k earliest-available
+// nodes, ordered by (release time, id). The returned slices alias internal
+// storage: they are valid until the next Apply call and must not be
+// modified. It panics if k is out of range — callers size k against N().
+func (v *AvailView) Earliest(k int) (ids []int, times []float64) {
+	if k < 1 || k > len(v.times) {
+		panic(fmt.Sprintf("rt: AvailView.Earliest(%d) with %d nodes", k, len(v.times)))
+	}
+	v.ensureSorted()
+	return v.order[:k], v.srt[:k]
+}
+
+// Apply records tentative assignments: node ids[i] will next be free at
+// release[i].
+func (v *AvailView) Apply(ids []int, release []float64) {
+	if len(ids) != len(release) {
+		panic(fmt.Sprintf("rt: AvailView.Apply: %d ids, %d releases", len(ids), len(release)))
+	}
+	for i, id := range ids {
+		v.times[id] = release[i]
+	}
+	v.dirty = true
+}
+
+// Times returns the underlying per-node release times (not a copy).
+func (v *AvailView) Times() []float64 { return v.times }

@@ -1,0 +1,55 @@
+package rt
+
+import (
+	"testing"
+
+	"rtdls/internal/cluster"
+)
+
+// benchSubmit measures steady-state schedulability-test cost: a rolling
+// window of arrivals against a 16-node cluster.
+func benchSubmit(b *testing.B, part Partitioner, pol Policy) {
+	cl, err := cluster.New(16, baseline)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := NewScheduler(cl, pol, part)
+	now := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		task := &Task{
+			ID:          int64(i),
+			Arrival:     now,
+			Sigma:       100 + float64(i%7)*50,
+			RelDeadline: 3000 + float64(i%5)*500,
+			UserN:       4 + i%12,
+		}
+		if _, err := s.Submit(task, now); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.CommitDue(now); err != nil {
+			b.Fatal(err)
+		}
+		now += 400
+	}
+}
+
+func BenchmarkSubmitIITDLT(b *testing.B)    { benchSubmit(b, IITDLT{}, EDF) }
+func BenchmarkSubmitOPRMN(b *testing.B)     { benchSubmit(b, OPR{}, EDF) }
+func BenchmarkSubmitUserSplit(b *testing.B) { benchSubmit(b, UserSplit{}, EDF) }
+func BenchmarkSubmitFIFO(b *testing.B)      { benchSubmit(b, IITDLT{}, FIFO) }
+
+func BenchmarkPlanIITDLT(b *testing.B) {
+	avail := make([]float64, 16)
+	for i := range avail {
+		avail[i] = float64(i%3) * 700
+	}
+	task := &Task{ID: 1, Arrival: 0, Sigma: 200, RelDeadline: 4000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := newCtx(baseline, avail, 0)
+		if _, err := (IITDLT{}).Plan(ctx, task); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

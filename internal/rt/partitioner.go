@@ -1,0 +1,72 @@
+package rt
+
+import (
+	"errors"
+	"math"
+
+	"rtdls/internal/dlt"
+)
+
+// ErrInfeasible is returned by partitioners when no assignment can meet the
+// task's deadline; the schedulability test then fails and the new arrival
+// is rejected (in a deployment, rejection triggers deadline renegotiation —
+// the paper's footnote 1; see examples/admission).
+var ErrInfeasible = errors.New("rt: no feasible assignment meets the deadline")
+
+// PlanContext carries the cluster state a partitioner plans against.
+type PlanContext struct {
+	P    dlt.Params
+	N    int        // cluster size
+	Now  float64    // current time; starts are clamped to max(Now, task arrival)
+	View *AvailView // tentative per-node release times
+}
+
+// startFloor returns the earliest instant the task may occupy a node.
+func (ctx *PlanContext) startFloor(t *Task) float64 {
+	return math.Max(ctx.Now, t.Arrival)
+}
+
+// Partitioner is the framework's task-partitioning module (Decision #2)
+// fused with the node-assignment rule (Decision #3): given the tentative
+// cluster state it selects the nodes, start times, load fractions and the
+// completion estimate for one task.
+//
+// Plan must not mutate the view — the scheduler applies the returned plan's
+// releases itself after checking the deadline.
+type Partitioner interface {
+	// Name returns the partitioner's identifier (e.g. "dlt-iit").
+	Name() string
+	Plan(ctx *PlanContext, t *Task) (*Plan, error)
+}
+
+// clampedStarts materialises r_k = max(Release(node_k), A_i, now) for the k
+// earliest-available nodes (Fig. 2's "set processor available times",
+// clamped so replanned waiting tasks cannot start in the past). The
+// returned slices are freshly allocated; ids is copied from the view.
+func clampedStarts(ctx *PlanContext, t *Task, k int) (ids []int, starts []float64) {
+	vids, vtimes := ctx.View.Earliest(k)
+	ids = make([]int, k)
+	starts = make([]float64, k)
+	copy(ids, vids)
+	floor := ctx.startFloor(t)
+	for i, tm := range vtimes {
+		starts[i] = math.Max(tm, floor)
+	}
+	return ids, starts
+}
+
+// deadlineEps returns the absolute tolerance for comparing a completion
+// estimate against an absolute deadline, scaled to the magnitudes involved
+// so the mathematically guaranteed inequalities survive floating point.
+func deadlineEps(absDeadline float64) float64 {
+	return 1e-9 * math.Max(1, math.Abs(absDeadline))
+}
+
+// uniform returns a slice of n copies of v.
+func uniform(n int, v float64) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}

@@ -1,0 +1,220 @@
+package rt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rtdls/internal/cluster"
+)
+
+// Observer receives admission-control lifecycle callbacks. All methods may
+// be nil-safe no-ops; see package trace for ready-made implementations.
+type Observer interface {
+	OnAccept(now float64, t *Task, p *Plan)
+	OnReject(now float64, t *Task)
+	OnCommit(now float64, p *Plan)
+}
+
+// Scheduler implements the paper's Fig. 2 schedulability test and the
+// surrounding admission control. On every arrival it tentatively re-plans
+// the entire waiting queue (ordered by the policy) on top of the committed
+// cluster state; the new task is accepted only if every task in the
+// tentative schedule meets its deadline, in which case the tentative
+// schedule replaces the previous plan. A waiting task becomes committed —
+// occupying its nodes, no longer replannable — when its first data
+// transmission begins (its plan's earliest node start time).
+type Scheduler struct {
+	cl   *cluster.Cluster
+	pol  Policy
+	part Partitioner
+
+	waiting []*Task         // admitted, not yet committed; in policy order
+	plans   map[int64]*Plan // current feasible schedule for waiting tasks
+
+	arrivals int
+	accepts  int
+	rejects  int
+	commits  int
+	maxQueue int
+
+	obs Observer
+}
+
+// NewScheduler builds a scheduler for the given cluster, policy and
+// partitioning module.
+func NewScheduler(cl *cluster.Cluster, pol Policy, part Partitioner) *Scheduler {
+	if cl == nil {
+		panic("rt: NewScheduler: nil cluster")
+	}
+	if part == nil {
+		panic("rt: NewScheduler: nil partitioner")
+	}
+	return &Scheduler{
+		cl:    cl,
+		pol:   pol,
+		part:  part,
+		plans: make(map[int64]*Plan),
+	}
+}
+
+// SetObserver installs lifecycle callbacks (nil disables them).
+func (s *Scheduler) SetObserver(obs Observer) { s.obs = obs }
+
+// Cluster returns the cluster the scheduler manages.
+func (s *Scheduler) Cluster() *cluster.Cluster { return s.cl }
+
+// Policy returns the execution-order policy.
+func (s *Scheduler) Policy() Policy { return s.pol }
+
+// Partitioner returns the partitioning module.
+func (s *Scheduler) Partitioner() Partitioner { return s.part }
+
+// Submit runs the schedulability test for a newly arrived task and either
+// admits it (installing the new feasible schedule for the whole waiting
+// queue) or rejects it (leaving the previous schedule untouched). The
+// returned error reports malformed input or internal inconsistencies, not
+// infeasibility — an infeasible task is a clean (false, nil) rejection.
+func (s *Scheduler) Submit(t *Task, now float64) (accepted bool, err error) {
+	if err := t.Validate(); err != nil {
+		return false, err
+	}
+	if t.Arrival > now {
+		return false, fmt.Errorf("rt: task %d submitted at %v before its arrival %v", t.ID, now, t.Arrival)
+	}
+	if _, dup := s.plans[t.ID]; dup {
+		return false, fmt.Errorf("rt: task %d is already waiting", t.ID)
+	}
+	s.arrivals++
+
+	// TempTaskList ← NewTask + TaskWaitingQueue, ordered by the policy.
+	cand := make([]*Task, 0, len(s.waiting)+1)
+	inserted := false
+	for _, w := range s.waiting {
+		if !inserted && s.pol.Less(t, w) {
+			cand = append(cand, t)
+			inserted = true
+		}
+		cand = append(cand, w)
+	}
+	if !inserted {
+		cand = append(cand, t)
+	}
+
+	view := NewAvailView(s.cl.AvailTimes())
+	ctx := &PlanContext{P: s.cl.Params(), N: s.cl.N(), Now: now, View: view}
+	newPlans := make(map[int64]*Plan, len(cand))
+	for _, ti := range cand {
+		pl, perr := s.part.Plan(ctx, ti)
+		if perr != nil {
+			if errors.Is(perr, ErrInfeasible) {
+				s.reject(now, t)
+				return false, nil
+			}
+			return false, perr
+		}
+		absD := ti.AbsDeadline()
+		if pl.Est > absD+deadlineEps(absD) {
+			s.reject(now, t)
+			return false, nil
+		}
+		view.Apply(pl.Nodes, pl.Release)
+		newPlans[ti.ID] = pl
+	}
+
+	// All tasks in the cluster are schedulable: accept TempSchedule.
+	s.waiting = cand
+	s.plans = newPlans
+	s.accepts++
+	if len(s.waiting) > s.maxQueue {
+		s.maxQueue = len(s.waiting)
+	}
+	if s.obs != nil {
+		s.obs.OnAccept(now, t, newPlans[t.ID])
+	}
+	return true, nil
+}
+
+func (s *Scheduler) reject(now float64, t *Task) {
+	s.rejects++
+	if s.obs != nil {
+		s.obs.OnReject(now, t)
+	}
+}
+
+// NextCommit returns the earliest plan start time among waiting tasks, or
+// ok=false when the queue is empty. The driver schedules a commit event at
+// this instant.
+func (s *Scheduler) NextCommit() (at float64, ok bool) {
+	at = math.Inf(1)
+	for _, pl := range s.plans {
+		if fs := pl.FirstStart(); fs < at {
+			at = fs
+		}
+	}
+	return at, !math.IsInf(at, 1)
+}
+
+// commitEps tolerates event-time rounding when deciding whether a plan's
+// first transmission is due.
+const commitEps = 1e-9
+
+// CommitDue commits every waiting plan whose first transmission start is ≤
+// now, in queue order, updating the cluster's release times and accounting.
+// It returns the committed plans (possibly none).
+func (s *Scheduler) CommitDue(now float64) ([]*Plan, error) {
+	var out []*Plan
+	rest := s.waiting[:0]
+	tol := commitEps * math.Max(1, math.Abs(now))
+	for _, w := range s.waiting {
+		pl := s.plans[w.ID]
+		if pl == nil {
+			return out, fmt.Errorf("rt: waiting task %d has no plan", w.ID)
+		}
+		if pl.FirstStart() <= now+tol {
+			if err := s.cl.Commit(pl.Nodes, pl.Starts, pl.Release, pl.ReservedIdle); err != nil {
+				return out, fmt.Errorf("rt: committing task %d: %w", w.ID, err)
+			}
+			delete(s.plans, w.ID)
+			s.commits++
+			if s.obs != nil {
+				s.obs.OnCommit(now, pl)
+			}
+			out = append(out, pl)
+			continue
+		}
+		rest = append(rest, w)
+	}
+	s.waiting = rest
+	return out, nil
+}
+
+// PlanFor returns the current plan for a waiting task, or nil.
+func (s *Scheduler) PlanFor(taskID int64) *Plan { return s.plans[taskID] }
+
+// QueueLen returns the number of admitted-but-uncommitted tasks.
+func (s *Scheduler) QueueLen() int { return len(s.waiting) }
+
+// MaxQueueLen returns the largest waiting-queue length observed.
+func (s *Scheduler) MaxQueueLen() int { return s.maxQueue }
+
+// Arrivals returns the number of submitted tasks.
+func (s *Scheduler) Arrivals() int { return s.arrivals }
+
+// Accepts returns the number of admitted tasks.
+func (s *Scheduler) Accepts() int { return s.accepts }
+
+// Rejects returns the number of rejected tasks.
+func (s *Scheduler) Rejects() int { return s.rejects }
+
+// Commits returns the number of committed (started) tasks.
+func (s *Scheduler) Commits() int { return s.commits }
+
+// RejectRatio returns rejects/arrivals, the paper's evaluation metric
+// (0 when nothing has arrived).
+func (s *Scheduler) RejectRatio() float64 {
+	if s.arrivals == 0 {
+		return 0
+	}
+	return float64(s.rejects) / float64(s.arrivals)
+}

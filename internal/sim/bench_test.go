@@ -1,0 +1,32 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventQueue measures raw schedule+dispatch throughput of the
+// event heap with a churn of 1024 in-flight events.
+func BenchmarkEventQueue(b *testing.B) {
+	s := New()
+	fn := func() {}
+	const depth = 1024
+	for i := 0; i < depth; i++ {
+		s.At(float64(i), fn)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.At(s.Now()+float64(depth), fn)
+		s.Step()
+	}
+}
+
+func BenchmarkCancel(b *testing.B) {
+	s := New()
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := s.At(s.Now()+1, fn)
+		h.Cancel()
+		if i%1024 == 1023 {
+			s.RunUntil(s.Now() + 0.5) // drain cancelled events
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueReady(t *testing.T) {
+	var s Simulator
+	ran := false
+	s.At(5, func() { ran = true })
+	s.Run()
+	if !ran || s.Now() != 5 {
+		t.Fatalf("ran=%v now=%v", ran, s.Now())
+	}
+}
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	s := New()
+	var got []float64
+	for _, tm := range []float64{5, 1, 3, 2, 4} {
+		tm := tm
+		s.At(tm, func() { got = append(got, tm) })
+	}
+	s.Run()
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("ran %d events, want 5", len(got))
+	}
+}
+
+func TestEqualTimePriorityOrder(t *testing.T) {
+	s := New()
+	var got []string
+	s.AtPrio(1, PrioArrival, func() { got = append(got, "arrival") })
+	s.AtPrio(1, PrioCommit, func() { got = append(got, "commit") })
+	s.AtPrio(1, PrioDefault, func() { got = append(got, "default") })
+	s.Run()
+	want := []string{"commit", "default", "arrival"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEqualTimeEqualPrioFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(7, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("scheduling order not preserved: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	ran := false
+	h := s.At(1, func() { ran = true })
+	if !h.Pending() {
+		t.Fatalf("handle should be pending")
+	}
+	h.Cancel()
+	if h.Pending() {
+		t.Fatalf("cancelled handle should not be pending")
+	}
+	s.Run()
+	if ran {
+		t.Fatalf("cancelled event ran")
+	}
+	// Cancelling again and cancelling the zero Handle are no-ops.
+	h.Cancel()
+	Handle{}.Cancel()
+}
+
+func TestScheduleFromWithinEvent(t *testing.T) {
+	s := New()
+	var got []float64
+	s.At(1, func() {
+		got = append(got, s.Now())
+		s.After(2, func() { got = append(got, s.Now()) })
+		s.At(s.Now(), func() { got = append(got, s.Now()) }) // same instant
+	})
+	s.Run()
+	want := []float64{1, 1, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	count := 0
+	for _, tm := range []float64{1, 2, 3, 4, 5} {
+		s.At(tm, func() { count++ })
+	}
+	s.RunUntil(3)
+	if count != 3 {
+		t.Fatalf("ran %d events by t=3, want 3", count)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("clock at %v, want 3", s.Now())
+	}
+	if s.Len() != 2 {
+		t.Fatalf("pending %d, want 2", s.Len())
+	}
+	s.RunUntil(10)
+	if count != 5 || s.Now() != 10 {
+		t.Fatalf("count=%d now=%v", count, s.Now())
+	}
+}
+
+func TestNextTime(t *testing.T) {
+	s := New()
+	if _, ok := s.NextTime(); ok {
+		t.Fatalf("empty queue should have no next time")
+	}
+	h := s.At(4, func() {})
+	s.At(9, func() {})
+	if tm, ok := s.NextTime(); !ok || tm != 4 {
+		t.Fatalf("next = %v,%v", tm, ok)
+	}
+	h.Cancel()
+	if tm, ok := s.NextTime(); !ok || tm != 9 {
+		t.Fatalf("next after cancel = %v,%v; want 9", tm, ok)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	s := New()
+	s.At(5, func() {})
+	s.Run() // now = 5
+	for name, fn := range map[string]func(){
+		"past":     func() { s.At(4, func() {}) },
+		"NaN":      func() { s.At(math.NaN(), func() {}) },
+		"posInf":   func() { s.After(math.Inf(1), func() {}) },
+		"nil func": func() { s.At(6, nil) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestSteps(t *testing.T) {
+	s := New()
+	for i := 0; i < 5; i++ {
+		s.At(float64(i), func() {})
+	}
+	s.Run()
+	if s.Steps() != 5 {
+		t.Fatalf("Steps = %d, want 5", s.Steps())
+	}
+}
+
+// TestHeapOrderingProperty: random schedules always execute in
+// non-decreasing time order with ties broken by (prio, insertion order).
+func TestHeapOrderingProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		rng := rand.New(rand.NewPCG(seed, seed+1))
+		n := 1 + int(nRaw%300)
+		s := New()
+		type key struct {
+			tm   float64
+			prio int8
+			seq  int
+		}
+		var got []key
+		for i := 0; i < n; i++ {
+			tm := float64(rng.IntN(20))
+			prio := int8(rng.IntN(3) - 1)
+			k := key{tm, prio, i}
+			s.AtPrio(tm, prio, func() { got = append(got, k) })
+		}
+		if len(got) != 0 {
+			return false
+		}
+		s.Run()
+		if len(got) != n {
+			return false
+		}
+		for i := 1; i < n; i++ {
+			a, b := got[i-1], got[i]
+			if a.tm > b.tm {
+				return false
+			}
+			if a.tm == b.tm && a.prio > b.prio {
+				return false
+			}
+			if a.tm == b.tm && a.prio == b.prio && a.seq > b.seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCancelRandomProperty: cancelled events never run, everything else
+// runs exactly once.
+func TestCancelRandomProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		n := 1 + int(nRaw%200)
+		s := New()
+		ran := make([]int, n)
+		handles := make([]Handle, n)
+		for i := 0; i < n; i++ {
+			i := i
+			handles[i] = s.At(float64(rng.IntN(50)), func() { ran[i]++ })
+		}
+		cancelled := make(map[int]bool)
+		for i := 0; i < n/3; i++ {
+			j := rng.IntN(n)
+			handles[j].Cancel()
+			cancelled[j] = true
+		}
+		s.Run()
+		for i, r := range ran {
+			if cancelled[i] && r != 0 {
+				return false
+			}
+			if !cancelled[i] && r != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

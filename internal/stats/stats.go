@@ -1,0 +1,148 @@
+// Package stats provides the small statistical toolkit the evaluation
+// needs: numerically stable accumulation (Welford), sample summaries and
+// Student-t 95% confidence intervals for the reject-ratio curves
+// (paper Fig. 3b reports 95% CIs over ten runs per point).
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Online accumulates a sample with Welford's algorithm. The zero value is
+// an empty sample ready for use.
+type Online struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates x into the sample.
+func (o *Online) Add(x float64) {
+	o.n++
+	if o.n == 1 {
+		o.min, o.max = x, x
+	} else {
+		if x < o.min {
+			o.min = x
+		}
+		if x > o.max {
+			o.max = x
+		}
+	}
+	d := x - o.mean
+	o.mean += d / float64(o.n)
+	o.m2 += d * (x - o.mean)
+}
+
+// N returns the sample size.
+func (o *Online) N() int { return o.n }
+
+// Mean returns the sample mean (0 for an empty sample).
+func (o *Online) Mean() float64 { return o.mean }
+
+// Var returns the unbiased sample variance (0 for n < 2).
+func (o *Online) Var() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (o *Online) Std() float64 { return math.Sqrt(o.Var()) }
+
+// Min returns the smallest observation (0 for an empty sample).
+func (o *Online) Min() float64 { return o.min }
+
+// Max returns the largest observation (0 for an empty sample).
+func (o *Online) Max() float64 { return o.max }
+
+// Summary is an immutable snapshot of a sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Std      float64
+	Min      float64
+	Max      float64
+	CI95Half float64 // half-width of the 95% Student-t confidence interval
+}
+
+// Summary snapshots the accumulator.
+func (o *Online) Summary() Summary {
+	return Summary{
+		N:        o.n,
+		Mean:     o.mean,
+		Std:      o.Std(),
+		Min:      o.min,
+		Max:      o.max,
+		CI95Half: o.CI95Half(),
+	}
+}
+
+// CI95Half returns the half-width of the 95% confidence interval for the
+// mean, t_{0.975,n-1}·s/√n (0 for n < 2).
+func (o *Online) CI95Half() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return TInv975(o.n-1) * o.Std() / math.Sqrt(float64(o.n))
+}
+
+// String formats the summary as "mean ± ci95 (n=N)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.6f ± %.6f (n=%d)", s.Mean, s.CI95Half, s.N)
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	var o Online
+	for _, x := range xs {
+		o.Add(x)
+	}
+	return o.Summary()
+}
+
+// tTable holds two-sided 97.5th-percentile Student-t critical values for
+// small degrees of freedom; beyond the table the normal approximation is
+// used via interpolation toward 1.96.
+var tTable = map[int]float64{
+	1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+	6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+	11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+	16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+	21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+	26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+	40: 2.021, 50: 2.009, 60: 2.000, 80: 1.990, 100: 1.984, 120: 1.980,
+}
+
+// TInv975 returns the two-sided 95% Student-t critical value for the given
+// degrees of freedom (exact table for df ≤ 30, interpolated above, 1.96 in
+// the limit). It panics for df < 1.
+func TInv975(df int) float64 {
+	if df < 1 {
+		panic(fmt.Sprintf("stats: TInv975 needs df >= 1, got %d", df))
+	}
+	if v, ok := tTable[df]; ok {
+		return v
+	}
+	if df > 120 {
+		return 1.96
+	}
+	// Linear interpolation between the nearest table entries.
+	lo, hi := df, df
+	for ; ; lo-- {
+		if _, ok := tTable[lo]; ok {
+			break
+		}
+	}
+	for ; ; hi++ {
+		if _, ok := tTable[hi]; ok {
+			break
+		}
+	}
+	f := float64(df-lo) / float64(hi-lo)
+	return tTable[lo]*(1-f) + tTable[hi]*f
+}

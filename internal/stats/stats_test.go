@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptySample(t *testing.T) {
+	var o Online
+	if o.N() != 0 || o.Mean() != 0 || o.Var() != 0 || o.Std() != 0 || o.CI95Half() != 0 {
+		t.Fatalf("empty sample should be all zeros")
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	var o Online
+	o.Add(3.5)
+	if o.N() != 1 || o.Mean() != 3.5 || o.Var() != 0 {
+		t.Fatalf("n=%d mean=%v var=%v", o.N(), o.Mean(), o.Var())
+	}
+	if o.Min() != 3.5 || o.Max() != 3.5 {
+		t.Fatalf("min/max wrong")
+	}
+}
+
+func TestKnownValues(t *testing.T) {
+	// Sample {2,4,4,4,5,5,7,9}: mean 5, sample variance 32/7.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	s := Summarize(xs)
+	if s.N != 8 || math.Abs(s.Mean-5) > 1e-12 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if math.Abs(s.Std-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Fatalf("std = %v, want %v", s.Std, math.Sqrt(32.0/7))
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	// CI half-width: t(7)·s/√8 = 2.365·2.138/2.828.
+	want := 2.365 * math.Sqrt(32.0/7) / math.Sqrt(8)
+	if math.Abs(s.CI95Half-want) > 1e-9 {
+		t.Fatalf("ci = %v, want %v", s.CI95Half, want)
+	}
+}
+
+func TestWelfordMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 9))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.IntN(200)
+		xs := make([]float64, n)
+		sum := 0.0
+		for i := range xs {
+			xs[i] = 1e6 + rng.Float64() // offset stresses naive summation
+			sum += xs[i]
+		}
+		mean := sum / float64(n)
+		ss := 0.0
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		naiveVar := ss / float64(n-1)
+		s := Summarize(xs)
+		if math.Abs(s.Mean-mean) > 1e-9*math.Abs(mean) {
+			t.Fatalf("mean %v vs naive %v", s.Mean, mean)
+		}
+		if math.Abs(s.Var()-naiveVar) > 1e-6*math.Max(1e-12, naiveVar) {
+			t.Fatalf("var %v vs naive %v", s.Var(), naiveVar)
+		}
+	}
+}
+
+// Var on Summary is not defined; helper for the test above.
+func (s Summary) Var() float64 { return s.Std * s.Std }
+
+func TestTInv975(t *testing.T) {
+	cases := map[int]float64{1: 12.706, 9: 2.262, 30: 2.042, 120: 1.980, 10000: 1.96}
+	for df, want := range cases {
+		if got := TInv975(df); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("TInv975(%d) = %v, want %v", df, got, want)
+		}
+	}
+	// Interpolated region is monotone decreasing and bracketed.
+	prev := TInv975(30)
+	for df := 31; df <= 121; df++ {
+		got := TInv975(df)
+		if got > prev+1e-12 {
+			t.Fatalf("TInv975 not monotone at %d: %v > %v", df, got, prev)
+		}
+		if got < 1.96-1e-12 {
+			t.Fatalf("TInv975(%d) = %v below normal limit", df, got)
+		}
+		prev = got
+	}
+}
+
+func TestTInv975Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for df=0")
+		}
+	}()
+	TInv975(0)
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.String() == "" {
+		t.Fatalf("empty summary string")
+	}
+}
+
+// Property: mean stays within [min, max] and variance is non-negative.
+func TestOnlineBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var o Online
+		count := 0
+		for _, x := range raw {
+			// The accumulator targets simulation metrics; restrict the
+			// property to magnitudes where float64 differences cannot
+			// overflow.
+			if math.IsNaN(x) || math.Abs(x) > 1e150 {
+				continue
+			}
+			o.Add(x)
+			count++
+		}
+		if count == 0 {
+			return true
+		}
+		return o.Mean() >= o.Min()-1e-9 && o.Mean() <= o.Max()+1e-9 && o.Var() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"testing"
+
+	"rtdls/internal/rt"
+)
+
+func sampleTask(id int64) *rt.Task {
+	return &rt.Task{ID: id, Arrival: float64(id), Sigma: 10, RelDeadline: 100}
+}
+
+func samplePlan(id int64) *rt.Plan {
+	return &rt.Plan{
+		Task:    sampleTask(id),
+		Nodes:   []int{0, 1},
+		Starts:  []float64{0, 0},
+		Release: []float64{5, 5},
+		Alphas:  []float64{0.5, 0.5},
+		Est:     5,
+	}
+}
+
+func TestRingCounts(t *testing.T) {
+	r := NewRing(10)
+	r.OnAccept(1, sampleTask(1), samplePlan(1))
+	r.OnReject(2, sampleTask(2))
+	r.OnCommit(3, samplePlan(1))
+	if r.Accepts() != 1 || r.Rejects() != 1 || r.Commits() != 1 {
+		t.Fatalf("counts %d/%d/%d", r.Accepts(), r.Rejects(), r.Commits())
+	}
+	recs := r.Records()
+	if len(recs) != 3 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[0].Kind != Accept || recs[1].Kind != Reject || recs[2].Kind != Commit {
+		t.Fatalf("record kinds wrong: %v", recs)
+	}
+	if recs[0].Nodes != 2 || recs[0].Est != 5 {
+		t.Fatalf("accept record missing plan data: %+v", recs[0])
+	}
+	if recs[1].TaskID != 2 || recs[1].Deadline != 2+100 {
+		t.Fatalf("reject record wrong: %+v", recs[1])
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := NewRing(3)
+	for i := int64(0); i < 7; i++ {
+		r.OnReject(float64(i), sampleTask(i))
+	}
+	if r.Dropped() != 4 {
+		t.Fatalf("Dropped = %d, want 4", r.Dropped())
+	}
+	recs := r.Records()
+	if len(recs) != 3 {
+		t.Fatalf("%d retained", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.TaskID != int64(4+i) {
+			t.Fatalf("retained wrong records: %v", recs)
+		}
+	}
+	if r.Rejects() != 7 {
+		t.Fatalf("counters must survive eviction: %d", r.Rejects())
+	}
+}
+
+func TestZeroCapacityCountsOnly(t *testing.T) {
+	r := NewRing(0)
+	r.OnAccept(0, sampleTask(1), samplePlan(1))
+	if len(r.Records()) != 0 || r.Accepts() != 1 {
+		t.Fatalf("zero-capacity ring misbehaved")
+	}
+	// Negative capacity is normalised to zero.
+	r = NewRing(-5)
+	r.OnReject(0, sampleTask(1))
+	if len(r.Records()) != 0 || r.Rejects() != 1 {
+		t.Fatalf("negative-capacity ring misbehaved")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Accept.String() != "accept" || Reject.String() != "reject" || Commit.String() != "commit" {
+		t.Fatalf("kind names wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Fatalf("unknown kind should format")
+	}
+}
+
+// The Ring must satisfy rt.Observer.
+var _ rt.Observer = (*Ring)(nil)

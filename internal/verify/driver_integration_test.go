@@ -1,0 +1,45 @@
+package verify_test
+
+import (
+	"testing"
+
+	"rtdls/internal/driver"
+	"rtdls/internal/verify"
+)
+
+// TestAllAlgorithmsVerified runs the full driver for every algorithm with
+// the independent checker attached: the strongest end-to-end statement the
+// library makes — across thousands of admissions, not a single overlap,
+// estimate violation or deadline miss.
+func TestAllAlgorithmsVerified(t *testing.T) {
+	for _, alg := range driver.Algorithms() {
+		for _, load := range []float64{0.5, 1.0} {
+			cfg := driver.Default()
+			cfg.Algorithm = alg
+			cfg.SystemLoad = load
+			cfg.Horizon = 4e5
+			cfg.Seed = 77
+			chk := verify.NewChecker(cfg.Params(), cfg.N)
+			cfg.Observer = chk
+			res, err := driver.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s load %v: %v", alg, load, err)
+			}
+			if !chk.OK() {
+				t.Fatalf("%s load %v: %s", alg, load, chk.Report())
+			}
+			if chk.Commits() != res.Committed {
+				t.Fatalf("%s: checker saw %d commits, driver %d", alg, chk.Commits(), res.Committed)
+			}
+			// Both quantities are mathematically ≤ 0; allow only
+			// floating-point noise.
+			const fpNoise = 1e-6
+			if chk.WorstLateness() > fpNoise {
+				t.Fatalf("%s load %v: lateness %v", alg, load, chk.WorstLateness())
+			}
+			if chk.WorstEstimateGap() > fpNoise {
+				t.Fatalf("%s load %v: Theorem-4 gap %v", alg, load, chk.WorstEstimateGap())
+			}
+		}
+	}
+}

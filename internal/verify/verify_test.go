@@ -1,0 +1,133 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"rtdls/internal/dlt"
+	"rtdls/internal/rt"
+)
+
+var baseline = dlt.Params{Cms: 1, Cps: 100}
+
+func goodPlan(id int64, start float64) *rt.Plan {
+	task := &rt.Task{ID: id, Arrival: start, Sigma: 10, RelDeadline: 5000}
+	return &rt.Plan{
+		Task:    task,
+		Nodes:   []int{0, 1},
+		Starts:  []float64{start, start},
+		Release: []float64{start + 600, start + 600},
+		Alphas:  []float64{0.5, 0.5},
+		Est:     start + 600,
+		Rounds:  1,
+	}
+}
+
+func TestCleanRunPasses(t *testing.T) {
+	c := NewChecker(baseline, 4)
+	p := goodPlan(1, 0)
+	c.OnAccept(0, p.Task, p)
+	c.OnCommit(0, p)
+	p2 := goodPlan(2, 600)
+	c.OnAccept(600, p2.Task, p2)
+	c.OnCommit(600, p2)
+	c.OnReject(700, &rt.Task{ID: 3, Arrival: 700, Sigma: 1, RelDeadline: 1})
+	if !c.OK() {
+		t.Fatalf("clean run flagged: %v", c.Violations())
+	}
+	if c.Accepts() != 2 || c.Rejects() != 1 || c.Commits() != 2 {
+		t.Fatalf("counts %d/%d/%d", c.Accepts(), c.Rejects(), c.Commits())
+	}
+	if c.WorstLateness() > 0 {
+		t.Fatalf("lateness %v", c.WorstLateness())
+	}
+	if !strings.Contains(c.Report(), "PASS") {
+		t.Fatalf("report: %s", c.Report())
+	}
+}
+
+func TestDetectsOverlap(t *testing.T) {
+	c := NewChecker(baseline, 4)
+	c.OnCommit(0, goodPlan(1, 0))
+	// Second task reuses node 0 before the first releases it.
+	c.OnCommit(100, goodPlan(2, 100))
+	if c.OK() {
+		t.Fatalf("overlap not detected")
+	}
+	found := false
+	for _, v := range c.Violations() {
+		if v.Kind == "overlap" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("wrong violation kinds: %v", c.Violations())
+	}
+}
+
+func TestDetectsDeadlineMiss(t *testing.T) {
+	c := NewChecker(baseline, 4)
+	p := goodPlan(1, 0)
+	p.Task.RelDeadline = 500 // actual completion ≈ 515 > 500
+	c.OnCommit(0, p)
+	if c.OK() {
+		t.Fatalf("deadline miss not detected")
+	}
+}
+
+func TestDetectsBadAdmission(t *testing.T) {
+	c := NewChecker(baseline, 4)
+	p := goodPlan(1, 0)
+	p.Est = 10000 // beyond the deadline 5000
+	c.OnAccept(0, p.Task, p)
+	if c.OK() {
+		t.Fatalf("estimate-past-deadline admission not detected")
+	}
+}
+
+func TestDetectsEstimateViolation(t *testing.T) {
+	c := NewChecker(baseline, 4)
+	p := goodPlan(1, 0)
+	p.Est = 100 // dispatch actually takes ~515
+	p.Task.RelDeadline = 5000
+	c.OnCommit(0, p)
+	found := false
+	for _, v := range c.Violations() {
+		if v.Kind == "estimate" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("estimate violation not detected: %v", c.Violations())
+	}
+	if c.WorstEstimateGap() <= 0 {
+		t.Fatalf("gap not recorded")
+	}
+}
+
+func TestDetectsBadNodeID(t *testing.T) {
+	c := NewChecker(baseline, 2)
+	p := goodPlan(1, 0)
+	p.Nodes = []int{0, 7}
+	c.OnCommit(0, p)
+	if c.OK() {
+		t.Fatalf("out-of-range node not detected")
+	}
+}
+
+func TestReportTruncatesViolations(t *testing.T) {
+	c := NewChecker(baseline, 2)
+	for i := int64(0); i < 15; i++ {
+		p := goodPlan(i, 0) // every plan after the first overlaps
+		c.OnCommit(0, p)
+	}
+	rep := c.Report()
+	if !strings.Contains(rep, "more") {
+		t.Fatalf("long report not truncated:\n%s", rep)
+	}
+	if !strings.Contains(rep, "FAIL") {
+		t.Fatalf("failing report must say FAIL")
+	}
+}
+
+var _ rt.Observer = (*Checker)(nil)

@@ -1,0 +1,214 @@
+package rtdls
+
+import (
+	"rtdls/internal/cluster"
+	"rtdls/internal/core"
+	"rtdls/internal/dlt"
+	"rtdls/internal/driver"
+	"rtdls/internal/experiments"
+	"rtdls/internal/gantt"
+	"rtdls/internal/multiround"
+	"rtdls/internal/rt"
+	"rtdls/internal/trace"
+	"rtdls/internal/verify"
+	"rtdls/internal/workload"
+)
+
+// Version identifies this release of the library.
+const Version = "1.0.0"
+
+// Params holds the cluster's linear cost coefficients: Cms is the time to
+// transmit one unit of load from the head node to a processing node, Cps
+// the time to process one unit on a node.
+type Params = dlt.Params
+
+// Task is a real-time arbitrarily divisible task T = (A, σ, D).
+type Task = rt.Task
+
+// Plan is a task's resource assignment: nodes, start times, load fractions
+// and the admission estimate.
+type Plan = rt.Plan
+
+// Policy selects the task execution order (EDF or FIFO).
+type Policy = rt.Policy
+
+// Execution-order policies.
+const (
+	FIFO = rt.FIFO
+	EDF  = rt.EDF
+)
+
+// Algorithm identifiers accepted by Config.Algorithm.
+const (
+	AlgDLTIIT    = driver.AlgDLTIIT    // this paper: DLT partitioning utilising IITs
+	AlgOPRMN     = driver.AlgOPRMN     // baseline: optimal partition, min nodes, no IITs
+	AlgOPRAN     = driver.AlgOPRAN     // baseline: always all N nodes
+	AlgUserSplit = driver.AlgUserSplit // manual equal split, user-chosen node count
+	AlgDLTMR     = driver.AlgDLTMR     // multi-round extension (paper Sec. 6)
+)
+
+// Algorithms lists every supported algorithm identifier.
+func Algorithms() []string { return driver.Algorithms() }
+
+// Config fully specifies one simulation run; see Baseline for the paper's
+// baseline parameters.
+type Config = driver.Config
+
+// Result carries one run's admission and execution metrics.
+type Result = driver.Result
+
+// Baseline returns the paper's baseline configuration (Sec. 5.1): N=16,
+// Cms=1, Cps=100, Avgσ=200, DCRatio=2, EDF-DLT, horizon 10⁷ time units.
+func Baseline() Config { return driver.Default() }
+
+// Run executes one end-to-end simulation: Poisson arrivals of divisible
+// tasks admission-tested by the configured algorithm on a discrete-event
+// cluster model.
+func Run(cfg Config) (*Result, error) { return driver.Run(cfg) }
+
+// RunSeries runs the configuration across several SystemLoad values,
+// returning one Result per load.
+func RunSeries(cfg Config, loads []float64) ([]*Result, error) {
+	out := make([]*Result, 0, len(loads))
+	for _, l := range loads {
+		c := cfg
+		c.SystemLoad = l
+		r, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Cluster models the homogeneous star cluster (head node, N workers,
+// per-node release times and accounting).
+type Cluster = cluster.Cluster
+
+// NewCluster returns a cluster of n processing nodes, all available at
+// time 0.
+func NewCluster(n int, p Params) (*Cluster, error) { return cluster.New(n, p) }
+
+// Scheduler implements the paper's Fig. 2 schedulability test with EDF or
+// FIFO ordering and a pluggable partitioner.
+type Scheduler = rt.Scheduler
+
+// Partitioner is the task-partitioning module interface (framework
+// Decision #2/#3).
+type Partitioner = rt.Partitioner
+
+// NewScheduler builds a scheduler over the cluster for the given policy
+// and algorithm identifier (see Algorithms).
+func NewScheduler(cl *Cluster, pol Policy, algorithm string) (*Scheduler, error) {
+	cfg := driver.Config{Algorithm: algorithm}
+	part, err := cfg.NewPartitioner()
+	if err != nil {
+		return nil, err
+	}
+	return rt.NewScheduler(cl, pol, part), nil
+}
+
+// Model is the paper's heterogeneous cluster model for one task: Eqs. 1–2
+// construction, the α partition (Eqs. 4–5), Ê (Eq. 6) and the completion
+// estimate (Eq. 7) with the Theorem-4 guarantee.
+type Model = core.Model
+
+// NewModel constructs the heterogeneous model for a task of the given data
+// size over processors with the given available times.
+func NewModel(p Params, sigma float64, avail []float64) (*Model, error) {
+	return core.New(p, sigma, avail)
+}
+
+// MinNodesBound returns ñ_min = ⌈ln γ / ln β⌉, the paper's upper bound on
+// the nodes required to finish a load σ within the slack.
+func MinNodesBound(p Params, sigma, slack float64) (n int, ok bool) {
+	return dlt.MinNodesBound(p, sigma, slack)
+}
+
+// WorkloadConfig parameterises the synthetic task generator of the
+// evaluation (Poisson arrivals, σ ~ N(Avgσ,Avgσ) truncated positive,
+// deadlines via DCRatio).
+type WorkloadConfig = workload.Config
+
+// Generator produces a deterministic task stream for a workload
+// configuration.
+type Generator = workload.Generator
+
+// NewGenerator returns a workload generator.
+func NewGenerator(cfg WorkloadConfig) (*Generator, error) { return workload.New(cfg) }
+
+// TraceRing records per-task scheduling lifecycle events; install one via
+// Config.Observer or Scheduler.SetObserver.
+type TraceRing = trace.Ring
+
+// NewTraceRing returns a lifecycle recorder keeping the last capacity
+// records.
+func NewTraceRing(capacity int) *TraceRing { return trace.NewRing(capacity) }
+
+// GanttCollector records committed node occupation and renders ASCII
+// timelines that make inserted idle time visible; install it via
+// Config.Observer or Scheduler.SetObserver.
+type GanttCollector = gantt.Collector
+
+// NewGanttCollector returns a timeline collector for a cluster of n nodes.
+func NewGanttCollector(n int) *GanttCollector { return gantt.NewCollector(n) }
+
+// Dispatch is the exact single-round sequential dispatch timeline of a
+// partitioned load.
+type Dispatch = dlt.Dispatch
+
+// SimulateDispatch computes the exact timeline of sequentially
+// transmitting a load σ, partitioned by alphas, to nodes with the given
+// (sorted) available times.
+func SimulateDispatch(p Params, sigma float64, avail, alphas []float64) (*Dispatch, error) {
+	return dlt.SimulateDispatch(p, sigma, avail, alphas)
+}
+
+// OutputDispatch extends Dispatch with result collection over the shared
+// link (the paper's Sec. 3 output-transfer extension).
+type OutputDispatch = dlt.OutputDispatch
+
+// SimulateDispatchWithOutput additionally models each node returning a
+// result of size delta·αᵢ·σ over the same sequential link.
+func SimulateDispatchWithOutput(p Params, sigma, delta float64, avail, alphas []float64) (*OutputDispatch, error) {
+	return dlt.SimulateDispatchWithOutput(p, sigma, delta, avail, alphas)
+}
+
+// Verifier independently re-validates a run's invariants (no node overlap,
+// Theorem-4 estimate safety, no deadline misses); install it via
+// Config.Observer or Scheduler.SetObserver and inspect OK()/Report().
+type Verifier = verify.Checker
+
+// NewVerifier returns a run verifier for a cluster of n nodes.
+func NewVerifier(p Params, n int) *Verifier { return verify.NewChecker(p, n) }
+
+// MultiRoundSchedule exposes the multi-round dispatch timeline of the
+// paper's future-work extension for analysis.
+func MultiRoundSchedule(p Params, sigma float64, avail, totals []float64, rounds int) (finish []float64, completion float64, err error) {
+	tl, err := multiround.Schedule(p, sigma, avail, totals, rounds)
+	if err != nil {
+		return nil, 0, err
+	}
+	return tl.Finish, tl.Completion, nil
+}
+
+// Panel is one evaluation figure panel; AllPanels enumerates the paper's
+// complete figure inventory.
+type Panel = experiments.Panel
+
+// PanelResult is an executed panel with per-load reject-ratio summaries.
+type PanelResult = experiments.PanelResult
+
+// PanelOptions controls panel execution scale (horizon, runs, workers).
+type PanelOptions = experiments.Options
+
+// AllPanels returns every evaluation panel (Figures 3–16 plus extensions).
+func AllPanels() []Panel { return experiments.AllPanels() }
+
+// RunPanel executes one panel sweep in parallel.
+func RunPanel(p Panel, o PanelOptions) (*PanelResult, error) { return experiments.Run(p, o) }
+
+// DefaultPanelOptions returns laptop-scale defaults; use
+// PanelOptions{Horizon: 1e7, Runs: 10} for the paper's full scale.
+func DefaultPanelOptions() PanelOptions { return experiments.DefaultOptions() }

@@ -1,0 +1,128 @@
+package rtdls_test
+
+import (
+	"math"
+	"testing"
+
+	"rtdls"
+)
+
+func TestFacadeRun(t *testing.T) {
+	cfg := rtdls.Baseline()
+	cfg.Horizon = 2e5
+	cfg.SystemLoad = 0.6
+	r, err := rtdls.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Arrivals == 0 || r.RejectRatio < 0 || r.RejectRatio > 1 {
+		t.Fatalf("bad result: %+v", r)
+	}
+}
+
+func TestFacadeRunSeries(t *testing.T) {
+	cfg := rtdls.Baseline()
+	cfg.Horizon = 1e5
+	rs, err := rtdls.RunSeries(cfg, []float64{0.2, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("%d results", len(rs))
+	}
+	if rs[0].Config.SystemLoad != 0.2 || rs[1].Config.SystemLoad != 0.8 {
+		t.Fatalf("loads not applied")
+	}
+}
+
+func TestFacadeSchedulerFlow(t *testing.T) {
+	cl, err := rtdls.NewCluster(16, rtdls.Params{Cms: 1, Cps: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := rtdls.NewScheduler(cl, rtdls.EDF, rtdls.AlgDLTIIT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := rtdls.NewTraceRing(16)
+	sched.SetObserver(ring)
+	ok, err := sched.Submit(&rtdls.Task{ID: 1, Arrival: 0, Sigma: 200, RelDeadline: 2718}, 0)
+	if err != nil || !ok {
+		t.Fatalf("Submit = %v, %v", ok, err)
+	}
+	if _, err := sched.CommitDue(0); err != nil {
+		t.Fatal(err)
+	}
+	if ring.Accepts() != 1 || ring.Commits() != 1 {
+		t.Fatalf("trace ring saw %d/%d", ring.Accepts(), ring.Commits())
+	}
+	if _, err := rtdls.NewScheduler(cl, rtdls.EDF, "bogus"); err == nil {
+		t.Fatalf("unknown algorithm must fail")
+	}
+}
+
+func TestFacadeModel(t *testing.T) {
+	m, err := rtdls.NewModel(rtdls.Params{Cms: 1, Cps: 100}, 200, []float64{0, 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(m.ExecTime() < m.NoIITExecTime()) {
+		t.Fatalf("model should utilise the IIT")
+	}
+	n, ok := rtdls.MinNodesBound(rtdls.Params{Cms: 1, Cps: 100}, 200, 2718)
+	if !ok || n != 8 {
+		t.Fatalf("MinNodesBound = %d, %v", n, ok)
+	}
+}
+
+func TestFacadeGenerator(t *testing.T) {
+	g, err := rtdls.NewGenerator(rtdls.WorkloadConfig{
+		N: 16, Params: rtdls.Params{Cms: 1, Cps: 100},
+		SystemLoad: 0.5, AvgSigma: 200, DCRatio: 2, Horizon: 1e5, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, ok := g.Next()
+	if !ok || task.Sigma <= 0 {
+		t.Fatalf("generator produced nothing useful")
+	}
+}
+
+func TestFacadeMultiRound(t *testing.T) {
+	finish, completion, err := rtdls.MultiRoundSchedule(
+		rtdls.Params{Cms: 1, Cps: 100}, 100,
+		[]float64{0, 0}, []float64{0.5, 0.5}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(finish) != 2 || completion <= 0 || math.IsNaN(completion) {
+		t.Fatalf("bad timeline: %v %v", finish, completion)
+	}
+}
+
+func TestFacadePanels(t *testing.T) {
+	panels := rtdls.AllPanels()
+	if len(panels) < 60 {
+		t.Fatalf("panel inventory too small: %d", len(panels))
+	}
+	p := panels[0]
+	p.Loads = []float64{0.5}
+	opts := rtdls.DefaultPanelOptions()
+	opts.Horizon = 1e5
+	opts.Runs = 2
+	r, err := rtdls.RunPanel(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cells) != 1 {
+		t.Fatalf("cells = %d", len(r.Cells))
+	}
+}
+
+func TestFacadeAlgorithms(t *testing.T) {
+	algs := rtdls.Algorithms()
+	if len(algs) != 5 {
+		t.Fatalf("algorithms = %v", algs)
+	}
+}
