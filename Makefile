@@ -1,0 +1,42 @@
+# Local targets mirror .github/workflows/ci.yml exactly, so `make ci`
+# reproduces what CI runs.
+
+GO ?= go
+FUZZTIME ?= 10s
+FUZZ_PKGS := ./internal/core ./internal/dlt
+
+.PHONY: build test bench fmt fmt-check vet race fuzz-smoke ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+fuzz-smoke:
+	@set -eu; for pkg in $(FUZZ_PKGS); do \
+		targets=$$($(GO) test $$pkg -list '^Fuzz' | grep '^Fuzz' || true); \
+		for target in $$targets; do \
+			echo "=== fuzzing $$pkg/$$target"; \
+			$(GO) test $$pkg -run='^$$' -fuzz="^$$target\$$" -fuzztime=$(FUZZTIME); \
+		done; \
+	done
+
+ci: build fmt-check vet race bench fuzz-smoke

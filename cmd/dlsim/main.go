@@ -8,6 +8,12 @@
 // Compare against the no-IIT baseline on the identical workload:
 //
 //	dlsim -alg opr-mn -policy edf -load 0.7
+//
+// Heterogeneous cluster, either drawn around the reference costs or given
+// explicitly per node:
+//
+//	dlsim -alg dlt-iit -load 0.7 -cps-spread 4
+//	dlsim -alg dlt-iit -n 3 -node-costs 1:50,1:100,2:400
 package main
 
 import (
@@ -15,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"rtdls"
 )
@@ -36,6 +44,11 @@ func main() {
 		doVerify = flag.Bool("verify", false, "independently re-check every commit (overlap, Theorem 4, deadlines)")
 		ganttT   = flag.Float64("gantt", 0, "render an ASCII node timeline of the first T time units (0 = off)")
 		asJSON   = flag.Bool("json", false, "emit the result as JSON")
+
+		cmsSpread = flag.Float64("cms-spread", 0, "per-node Cms spread factor (>1 = heterogeneous cluster)")
+		cpsSpread = flag.Float64("cps-spread", 0, "per-node Cps spread factor (>1 = heterogeneous cluster)")
+		hetSeed   = flag.Uint64("hetero-seed", 1, "seed for the per-node cost draw")
+		nodeCosts = flag.String("node-costs", "", "explicit per-node costs \"cms:cps,cms:cps,…\" (one pair per node, overrides spreads)")
 	)
 	flag.Parse()
 
@@ -44,6 +57,20 @@ func main() {
 		Policy: *policy, Algorithm: *alg,
 		SystemLoad: *load, AvgSigma: *avgSigma, DCRatio: *dcRatio,
 		Horizon: *horizon, Seed: *seed, Rounds: *rounds,
+		CmsSpread: *cmsSpread, CpsSpread: *cpsSpread, HeteroSeed: *hetSeed,
+	}
+	if *nodeCosts != "" {
+		costs, err := parseNodeCosts(*nodeCosts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dlsim:", err)
+			os.Exit(1)
+		}
+		cfg.NodeCosts = costs
+	}
+	costModel, err := cfg.CostModel()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dlsim:", err)
+		os.Exit(1)
 	}
 	var (
 		ring     *rtdls.TraceRing
@@ -56,7 +83,7 @@ func main() {
 		obs = append(obs, ring)
 	}
 	if *doVerify {
-		verifier = rtdls.NewVerifier(rtdls.Params{Cms: *cms, Cps: *cps}, *n)
+		verifier = rtdls.NewVerifierCosts(costModel)
 		obs = append(obs, verifier)
 	}
 	if *ganttT > 0 {
@@ -86,6 +113,14 @@ func main() {
 
 	fmt.Printf("%s-%s  N=%d Cms=%g Cps=%g Avgσ=%g DCRatio=%g load=%.2f seed=%d\n",
 		*policy, *alg, *n, *cms, *cps, *avgSigma, *dcRatio, *load, *seed)
+	if !costModel.Uniform() {
+		fmt.Printf("  heterogeneous node costs (cms:cps):")
+		for i := 0; i < costModel.N(); i++ {
+			c := costModel.At(i)
+			fmt.Printf(" %.3g:%.3g", c.Cms, c.Cps)
+		}
+		fmt.Println()
+	}
 	fmt.Printf("  arrivals        %d\n", res.Arrivals)
 	fmt.Printf("  accepted        %d\n", res.Accepted)
 	fmt.Printf("  rejected        %d\n", res.Rejected)
@@ -116,6 +151,27 @@ func main() {
 			os.Exit(2)
 		}
 	}
+}
+
+// parseNodeCosts parses "cms:cps,cms:cps,…" into a per-node cost slice.
+func parseNodeCosts(s string) ([]rtdls.NodeCost, error) {
+	var out []rtdls.NodeCost
+	for i, pair := range strings.Split(s, ",") {
+		parts := strings.SplitN(strings.TrimSpace(pair), ":", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("node-costs entry %d: want \"cms:cps\", got %q", i, pair)
+		}
+		cms, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("node-costs entry %d: bad cms: %v", i, err)
+		}
+		cps, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("node-costs entry %d: bad cps: %v", i, err)
+		}
+		out = append(out, rtdls.NodeCost{Cms: cms, Cps: cps})
+	}
+	return out, nil
 }
 
 // multiObserver fans lifecycle callbacks out to several observers.

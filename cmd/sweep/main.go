@@ -5,6 +5,11 @@
 // Example (how the IIT benefit scales with cluster size at 80% load):
 //
 //	sweep -param n -values 8,16,32,64,128 -load 0.8 -algs dlt-iit,opr-mn
+//
+// Heterogeneity panel (how the DLT advantage grows as per-node compute
+// speeds spread around Cps, same offered load):
+//
+//	sweep -param cpsspread -values 1,2,4,8,16 -load 0.7 -algs dlt-iit,opr-mn,user-split
 package main
 
 import (
@@ -19,18 +24,21 @@ import (
 
 func main() {
 	var (
-		param    = flag.String("param", "load", "parameter to sweep: load, n, cms, cps, avgsigma, dcratio, rounds")
-		values   = flag.String("values", "0.1,0.3,0.5,0.7,0.9", "comma-separated values")
-		algsFlag = flag.String("algs", "dlt-iit,opr-mn", "comma-separated algorithms")
-		policy   = flag.String("policy", "edf", "scheduling policy: edf or fifo")
-		n        = flag.Int("n", 16, "number of processing nodes")
-		cms      = flag.Float64("cms", 1, "unit transmission cost")
-		cps      = flag.Float64("cps", 100, "unit processing cost")
-		load     = flag.Float64("load", 0.5, "SystemLoad")
-		avgSigma = flag.Float64("avgsigma", 200, "mean data size")
-		dcRatio  = flag.Float64("dcratio", 2, "deadline/cost ratio")
-		horizon  = flag.Float64("horizon", 2e6, "arrival window per run")
-		runs     = flag.Int("runs", 3, "seeds per point")
+		param     = flag.String("param", "load", "parameter to sweep: load, n, cms, cps, avgsigma, dcratio, rounds, cmsspread, cpsspread")
+		values    = flag.String("values", "0.1,0.3,0.5,0.7,0.9", "comma-separated values")
+		algsFlag  = flag.String("algs", "dlt-iit,opr-mn", "comma-separated algorithms")
+		policy    = flag.String("policy", "edf", "scheduling policy: edf or fifo")
+		n         = flag.Int("n", 16, "number of processing nodes")
+		cms       = flag.Float64("cms", 1, "unit transmission cost")
+		cps       = flag.Float64("cps", 100, "unit processing cost")
+		load      = flag.Float64("load", 0.5, "SystemLoad")
+		avgSigma  = flag.Float64("avgsigma", 200, "mean data size")
+		dcRatio   = flag.Float64("dcratio", 2, "deadline/cost ratio")
+		horizon   = flag.Float64("horizon", 2e6, "arrival window per run")
+		runs      = flag.Int("runs", 3, "seeds per point")
+		cmsSpread = flag.Float64("cmsspread", 0, "per-node Cms spread factor (>1 = heterogeneous cluster)")
+		cpsSpread = flag.Float64("cpsspread", 0, "per-node Cps spread factor (>1 = heterogeneous cluster)")
+		hetSeed   = flag.Uint64("heteroseed", 1, "seed for the per-node cost draw")
 	)
 	flag.Parse()
 
@@ -56,6 +64,7 @@ func main() {
 				Policy: *policy, Algorithm: strings.TrimSpace(a),
 				SystemLoad: *load, AvgSigma: *avgSigma, DCRatio: *dcRatio,
 				Horizon: *horizon, Rounds: 2,
+				CmsSpread: *cmsSpread, CpsSpread: *cpsSpread, HeteroSeed: *hetSeed,
 			}
 			if err := apply(&cfg, *param, v); err != nil {
 				fmt.Fprintln(os.Stderr, "sweep:", err)
@@ -93,6 +102,10 @@ func apply(cfg *rtdls.Config, param string, v float64) error {
 		cfg.DCRatio = v
 	case "rounds":
 		cfg.Rounds = int(v)
+	case "cmsspread":
+		cfg.CmsSpread = v
+	case "cpsspread":
+		cfg.CpsSpread = v
 	default:
 		return fmt.Errorf("unknown parameter %q", param)
 	}

@@ -27,6 +27,21 @@
 //   - Model: the heterogeneous-model mathematics itself (Eqs. 1–7 of the
 //     paper) for analysis work.
 //
-// The experiment harness that regenerates every figure of the paper lives
-// in cmd/figures; see DESIGN.md and EXPERIMENTS.md.
+// Beyond the paper, the whole stack is generalised from one shared
+// (Cms, Cps) cost pair to per-node coefficients: build clusters with
+// NewHeteroCluster (or set Config.NodeCosts / Config.CmsSpread /
+// Config.CpsSpread), partition mixed-speed node sets with NewHeteroModel,
+// and note that a uniform cost table reproduces the homogeneous scheduler
+// bit for bit. Heterogeneous plans are admitted against exactly simulated
+// dispatch timelines, preserving the hard real-time guarantee without the
+// paper's common-Cms assumption.
+//
+// Build and test with the standard toolchain — go build ./... and
+// go test ./... — or via the Makefile (make ci mirrors the CI pipeline:
+// build, gofmt gate, vet, race tests, benchmark compile check and a fuzz
+// smoke pass).
+//
+// The experiment harness that regenerates every figure of the paper, plus
+// the xHET* heterogeneity panels, lives in cmd/figures; see DESIGN.md and
+// EXPERIMENTS.md.
 package rtdls

@@ -1,0 +1,3 @@
+module rtdls
+
+go 1.22

@@ -16,10 +16,12 @@ import (
 	"rtdls/internal/dlt"
 )
 
-// Cluster is the homogeneous cluster substrate. Create one with New.
+// Cluster is the cluster substrate: homogeneous when created with New,
+// per-node heterogeneous when created with NewHetero.
 type Cluster struct {
-	p     dlt.Params
-	avail []float64 // per node: release time of the last committed task
+	p     dlt.Params     // reference coefficients (the shared pair when uniform)
+	costs *dlt.CostModel // per-node coefficients; uniform for New
+	avail []float64      // per node: release time of the last committed task
 
 	busy         []float64 // per node: accumulated committed busy time
 	reservedIdle float64   // accumulated inserted idle time wasted by reservations
@@ -27,7 +29,8 @@ type Cluster struct {
 	commits      int
 }
 
-// New returns a cluster with n processing nodes, all available at time 0.
+// New returns a homogeneous cluster with n processing nodes, all available
+// at time 0.
 func New(n int, p dlt.Params) (*Cluster, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("cluster: need at least one processing node, got %d", n)
@@ -35,18 +38,50 @@ func New(n int, p dlt.Params) (*Cluster, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	cm, err := dlt.UniformCosts(p, n)
+	if err != nil {
+		return nil, err
+	}
 	return &Cluster{
 		p:     p,
+		costs: cm,
 		avail: make([]float64, n),
 		busy:  make([]float64, n),
+	}, nil
+}
+
+// NewHetero returns a cluster whose node i has the linear cost
+// coefficients costs[i], all nodes available at time 0. A uniform cost
+// table yields a cluster indistinguishable from New.
+func NewHetero(costs []dlt.NodeCost) (*Cluster, error) {
+	cm, err := dlt.NewCostModel(costs)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{
+		p:     cm.Reference(),
+		costs: cm,
+		avail: make([]float64, cm.N()),
+		busy:  make([]float64, cm.N()),
 	}, nil
 }
 
 // N returns the number of processing nodes.
 func (c *Cluster) N() int { return len(c.avail) }
 
-// Params returns the cluster's unit cost parameters.
+// Params returns the cluster's reference unit cost parameters: the shared
+// pair for a homogeneous cluster, the per-node means otherwise.
 func (c *Cluster) Params() dlt.Params { return c.p }
+
+// Costs returns the cluster's per-node cost model.
+func (c *Cluster) Costs() *dlt.CostModel { return c.costs }
+
+// CostAt returns node id's cost coefficients.
+func (c *Cluster) CostAt(id int) dlt.NodeCost { return c.costs.At(id) }
+
+// Hetero reports whether the cluster has genuinely per-node costs (i.e.
+// the cost model is not uniform).
+func (c *Cluster) Hetero() bool { return !c.costs.Uniform() }
 
 // AvailTimes returns a copy of the per-node release times of committed
 // work, indexed by node id.

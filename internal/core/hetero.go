@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rtdls/internal/dlt"
+)
+
+// NewHetero constructs the availability-transformation model for a cluster
+// that is *already* heterogeneous: processor i has its own linear cost
+// coefficients costs[i] = (Cms_i, Cps_i) and becomes available at avail[i]
+// (the two slices are parallel and are sorted together by available time).
+//
+// The construction generalises Eqs. 1–6 node by node. With
+// E = E({costs}, σ) the optimal execution time when every node starts at
+// r_n (dlt.HeteroExecTime), each processor's compute cost is inflated to
+//
+//	CpsI_i = E/(E + r_n − r_i) · Cps_i
+//
+// — exactly Eq. 1 applied to that node's own Cps_i — links keep their own
+// Cms_i (Eq. 2), and the simultaneous-finish partition solves
+//
+//	X_i = CpsI_{i-1} / (Cms_i + CpsI_i),   α_i = Π X_j · α_1
+//	Ê   = σ·Σ_j α_j·Cms_j + α_n·σ·CpsI_n
+//
+// which collapses to the homogeneous recurrence of computePartition when
+// every Cms_i is equal. When every cost pair is equal this is the paper's
+// original model up to floating-point association; callers that need
+// bit-identical legacy behaviour for uniform costs use New instead (the
+// rt-layer partitioners route uniform cost models there).
+//
+// The paper's Theorem 4 is proved for a common Cms; with per-node link
+// costs the Ê bound is no longer guaranteed, so schedulers admit
+// heterogeneous plans against the exact Dispatch timeline instead of
+// EstCompletion. Ê remains exact for the model cluster itself (all model
+// nodes finish simultaneously at Rn + Ê).
+//
+// Every accessor of the returned model is in processor order — sorted by
+// available time, ties broken by input position; use Order to map results
+// back to the caller's indexing.
+func NewHetero(costs []dlt.NodeCost, sigma float64, avail []float64) (*Model, error) {
+	n := len(avail)
+	if n == 0 {
+		return nil, fmt.Errorf("core: need at least one processor available time")
+	}
+	if len(costs) != n {
+		return nil, fmt.Errorf("core: %d node costs for %d available times", len(costs), n)
+	}
+	for i, c := range costs {
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("core: costs[%d]: %w", i, err)
+		}
+	}
+	if !(sigma > 0) || math.IsInf(sigma, 0) {
+		return nil, fmt.Errorf("core: sigma must be positive and finite, got %v", sigma)
+	}
+	a := make([]float64, n)
+	copy(a, avail)
+	cs := make([]dlt.NodeCost, n)
+	copy(cs, costs)
+	for i, r := range a {
+		if math.IsNaN(r) || math.IsInf(r, 0) {
+			return nil, fmt.Errorf("core: avail[%d] = %v is not a finite time", i, r)
+		}
+	}
+	// Sort (avail, cost) pairs together by available time, stably, so each
+	// processor keeps its own coefficients.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(x, y int) bool { return a[idx[x]] < a[idx[y]] })
+	sa := make([]float64, n)
+	sc := make([]dlt.NodeCost, n)
+	for i, j := range idx {
+		sa[i] = a[j]
+		sc[i] = cs[j]
+	}
+
+	e, err := dlt.HeteroExecTime(sc, sigma)
+	if err != nil {
+		return nil, fmt.Errorf("core: no-IIT execution time: %w", err)
+	}
+	m := &Model{
+		sigma: sigma,
+		avail: sa,
+		rn:    sa[n-1],
+		e:     e,
+		cpsI:  make([]float64, n),
+		costs: sc,
+		order: idx,
+	}
+	for i, ri := range sa {
+		m.cpsI[i] = e / (e + m.rn - ri) * sc[i].Cps
+	}
+	m.computeHeteroPartition()
+	return m, nil
+}
+
+// computeHeteroPartition evaluates the generalised recurrence over the
+// per-node link costs and inflated compute costs.
+func (m *Model) computeHeteroPartition() {
+	n := len(m.avail)
+	m.alphas = make([]float64, n)
+	prod := 1.0
+	sum := 0.0
+	prods := make([]float64, n)
+	prods[0] = 1
+	for i := 1; i < n; i++ {
+		x := m.cpsI[i-1] / (m.costs[i].Cms + m.cpsI[i])
+		prod *= x
+		prods[i] = prod
+		sum += prod
+	}
+	a1 := 1 / (1 + sum)
+	sendSum := 0.0
+	for i := 0; i < n; i++ {
+		m.alphas[i] = prods[i] * a1
+		sendSum += m.alphas[i] * m.costs[i].Cms
+	}
+	m.exec = m.sigma*sendSum + m.alphas[n-1]*m.sigma*m.cpsI[n-1]
+}
+
+// Hetero reports whether the model was built over per-node cost
+// coefficients (NewHetero) rather than the paper's single homogeneous pair.
+func (m *Model) Hetero() bool { return m.costs != nil }
+
+// NodeCosts returns the per-node cost coefficients in processor order
+// (sorted by available time), or nil for a homogeneous model. The slice is
+// shared with the model and must not be modified.
+func (m *Model) NodeCosts() []dlt.NodeCost { return m.costs }
+
+// Order maps each processor position back to the caller's input: every
+// accessor (Avail, NodeCosts, CpsI, Alphas, the Dispatch timelines) is
+// ordered by available time, and position i corresponds to index
+// Order()[i] of the avail/costs slices passed to NewHetero. The stable
+// sort breaks availability ties by input index. Order returns nil for
+// homogeneous models, where all processors are interchangeable. The slice
+// is shared with the model and must not be modified.
+func (m *Model) Order() []int { return m.order }
+
+// baseCms returns processor i's own link cost.
+func (m *Model) baseCms(i int) float64 {
+	if m.costs != nil {
+		return m.costs[i].Cms
+	}
+	return m.p.Cms
+}
+
+// baseCps returns processor i's own compute cost before Eq. 1 inflation.
+func (m *Model) baseCps(i int) float64 {
+	if m.costs != nil {
+		return m.costs[i].Cps
+	}
+	return m.p.Cps
+}

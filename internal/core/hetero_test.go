@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"rtdls/internal/dlt"
+)
+
+func uniformCostsSlice(p dlt.Params, n int) []dlt.NodeCost {
+	cs := make([]dlt.NodeCost, n)
+	for i := range cs {
+		cs[i] = dlt.NodeCost{Cms: p.Cms, Cps: p.Cps}
+	}
+	return cs
+}
+
+func randomHeteroCosts(rng *rand.Rand, n int) []dlt.NodeCost {
+	cs := make([]dlt.NodeCost, n)
+	for i := range cs {
+		cs[i] = dlt.NodeCost{
+			Cms: math.Exp(rng.Float64()*3 - 1.5),
+			Cps: math.Exp(rng.Float64()*3-1.5) * 80,
+		}
+	}
+	return cs
+}
+
+// TestNewHeteroUniformMatchesLegacy: with every node cost equal, the
+// generalised construction must agree with the paper's homogeneous model —
+// same partition, execution time and completion estimate (up to
+// floating-point association; the scalar path keeps its closed forms).
+func TestNewHeteroUniformMatchesLegacy(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 5))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.IntN(10)
+		avail := make([]float64, n)
+		for i := range avail {
+			avail[i] = rng.Float64() * 2000
+		}
+		sigma := 1 + rng.Float64()*500
+		legacy, err := New(baseline, sigma, avail)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, err := NewHetero(uniformCostsSlice(baseline, n), sigma, avail)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !gen.Hetero() || legacy.Hetero() {
+			t.Fatalf("Hetero flags wrong: gen=%v legacy=%v", gen.Hetero(), legacy.Hetero())
+		}
+		relEq := func(a, b float64, what string) {
+			t.Helper()
+			if math.Abs(a-b) > 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b))) {
+				t.Fatalf("%s differs: %v vs %v", what, a, b)
+			}
+		}
+		relEq(gen.NoIITExecTime(), legacy.NoIITExecTime(), "E")
+		relEq(gen.ExecTime(), legacy.ExecTime(), "Ê")
+		relEq(gen.EstCompletion(), legacy.EstCompletion(), "estimate")
+		for i := range legacy.Alphas() {
+			relEq(gen.Alphas()[i], legacy.Alphas()[i], "alpha")
+			relEq(gen.CpsI()[i], legacy.CpsI()[i], "CpsI")
+		}
+	}
+}
+
+// TestNewHeteroSortsPairs: avail times and costs must be permuted
+// together, keeping each processor's own coefficients.
+func TestNewHeteroSortsPairs(t *testing.T) {
+	costs := []dlt.NodeCost{{Cms: 1, Cps: 100}, {Cms: 2, Cps: 50}, {Cms: 3, Cps: 400}}
+	avail := []float64{500, 0, 250}
+	m, err := NewHetero(costs, 100, avail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAvail := []float64{0, 250, 500}
+	wantCosts := []dlt.NodeCost{{Cms: 2, Cps: 50}, {Cms: 3, Cps: 400}, {Cms: 1, Cps: 100}}
+	wantOrder := []int{1, 2, 0}
+	for i := range wantAvail {
+		if m.Avail()[i] != wantAvail[i] {
+			t.Fatalf("avail not sorted: %v", m.Avail())
+		}
+		if m.NodeCosts()[i] != wantCosts[i] {
+			t.Fatalf("costs not permuted with avail: %v", m.NodeCosts())
+		}
+		if m.Order()[i] != wantOrder[i] {
+			t.Fatalf("Order() = %v, want %v", m.Order(), wantOrder)
+		}
+	}
+
+	// Availability ties break by input position (stable sort), so Order
+	// stays recoverable even for identical times.
+	m, err = NewHetero([]dlt.NodeCost{{Cms: 1, Cps: 100}, {Cms: 2, Cps: 50}}, 10, []float64{3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Order()[0] != 0 || m.Order()[1] != 1 {
+		t.Fatalf("tied avail times must keep input order: %v", m.Order())
+	}
+}
+
+// TestNewHeteroInvariants: partition validity and the Eq. 9 analogue
+// (inflating compute power never lengthens the optimal makespan) across
+// random heterogeneous inputs; the exact dispatch must also run clean.
+func TestNewHeteroInvariants(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.IntN(10)
+		costs := randomHeteroCosts(rng, n)
+		avail := make([]float64, n)
+		for i := range avail {
+			avail[i] = rng.Float64() * 5000
+		}
+		sigma := 1 + rng.Float64()*400
+		m, err := NewHetero(costs, sigma, avail)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, a := range m.Alphas() {
+			if !(a > 0) || math.IsNaN(a) {
+				t.Fatalf("invalid alpha %v", a)
+			}
+			sum += a
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("alphas sum to %v", sum)
+		}
+		if !m.CheckEq9() {
+			t.Fatalf("Ê=%v exceeds E=%v", m.ExecTime(), m.NoIITExecTime())
+		}
+		if !m.CheckAssertion3() {
+			t.Fatalf("Assertion 3 analogue violated")
+		}
+		if _, err := m.Dispatch(); err != nil {
+			t.Fatalf("dispatch: %v", err)
+		}
+		// MakespanFor at the model's own partition equals Ê (all model
+		// nodes finish together).
+		if got := m.MakespanFor(m.Alphas()); math.Abs(got-m.ExecTime()) > 1e-6*math.Max(1, m.ExecTime()) {
+			t.Fatalf("MakespanFor(alphas)=%v != Ê=%v", got, m.ExecTime())
+		}
+	}
+}
+
+// TestNewHeteroPerNodeCpsTheorem4: with a common Cms but per-node base
+// Cps, the availability transformation inherits the paper's Theorem-4
+// structure; the exact dispatch should not exceed the Ê-based estimate.
+func TestNewHeteroPerNodeCpsTheorem4(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.IntN(8)
+		costs := make([]dlt.NodeCost, n)
+		for i := range costs {
+			costs[i] = dlt.NodeCost{Cms: 1, Cps: 20 + rng.Float64()*300}
+		}
+		avail := make([]float64, n)
+		for i := range avail {
+			avail[i] = rng.Float64() * 3000
+		}
+		m, err := NewHetero(costs, 1+rng.Float64()*300, avail)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := m.Dispatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Completion > m.EstCompletion()*(1+1e-9) {
+			t.Fatalf("actual completion %v exceeds estimate %v (common-Cms case)",
+				d.Completion, m.EstCompletion())
+		}
+	}
+}
+
+// TestNewHeteroDegenerate covers the degenerate inputs: a single free
+// node, a zero-Cms link, identical available times.
+func TestNewHeteroDegenerate(t *testing.T) {
+	// One free node.
+	m, err := NewHetero([]dlt.NodeCost{{Cms: 1, Cps: 100}}, 50, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Alphas()[0] != 1 {
+		t.Fatalf("single node must take the whole load: %v", m.Alphas())
+	}
+	if got, want := m.EstCompletion(), 50*101.0; math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("single-node estimate %v, want %v", got, want)
+	}
+
+	// Zero-Cms link in the set.
+	m, err = NewHetero([]dlt.NodeCost{{Cms: 0, Cps: 100}, {Cms: 1, Cps: 100}}, 50, []float64{0, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Dispatch(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical available times: the transformation degenerates to the
+	// plain heterogeneous simultaneous-start partition (CpsI == Cps).
+	costs := []dlt.NodeCost{{Cms: 1, Cps: 100}, {Cms: 2, Cps: 50}, {Cms: 1, Cps: 300}}
+	m, err = NewHetero(costs, 80, []float64{7, 7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range costs {
+		if math.Abs(m.CpsI()[i]-c.Cps) > 1e-12*c.Cps {
+			t.Fatalf("equal avail times must not inflate: CpsI=%v", m.CpsI())
+		}
+	}
+	e, err := dlt.HeteroExecTime(costs, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.ExecTime()-e) > 1e-9*e {
+		t.Fatalf("Ê=%v, want plain hetero E=%v", m.ExecTime(), e)
+	}
+
+	// Validation failures.
+	if _, err := NewHetero(nil, 50, nil); err == nil {
+		t.Fatalf("empty model must fail")
+	}
+	if _, err := NewHetero([]dlt.NodeCost{{Cms: 1, Cps: 100}}, 50, []float64{0, 1}); err == nil {
+		t.Fatalf("length mismatch must fail")
+	}
+	if _, err := NewHetero([]dlt.NodeCost{{Cms: 1, Cps: 0}}, 50, []float64{0}); err == nil {
+		t.Fatalf("invalid cost must fail")
+	}
+	if _, err := NewHetero([]dlt.NodeCost{{Cms: 1, Cps: 100}}, -1, []float64{0}); err == nil {
+		t.Fatalf("negative sigma must fail")
+	}
+	if _, err := NewHetero([]dlt.NodeCost{{Cms: 1, Cps: 100}}, 50, []float64{math.NaN()}); err == nil {
+		t.Fatalf("NaN avail must fail")
+	}
+}

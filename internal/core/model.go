@@ -38,6 +38,14 @@ type Model struct {
 
 	alphas []float64 // optimal partition on the model (Eqs. 4–5)
 	exec   float64   // Ê(σ,n) (Eq. 6)
+
+	// costs holds per-node base coefficients for models built over an
+	// already-heterogeneous cluster (NewHetero); nil for the paper's
+	// homogeneous construction, whose code paths are unchanged.
+	costs []dlt.NodeCost
+	// order maps each sorted processor position to its index in the
+	// slices the caller passed to NewHetero; nil for homogeneous models.
+	order []int
 }
 
 // New constructs the heterogeneous model for a task of data size sigma
@@ -111,7 +119,8 @@ func (m *Model) N() int { return len(m.avail) }
 // Sigma returns the task data size the model was built for.
 func (m *Model) Sigma() float64 { return m.sigma }
 
-// Params returns the homogeneous cluster cost parameters.
+// Params returns the homogeneous cluster cost parameters. For a model
+// built with NewHetero it is the zero value; use NodeCosts instead.
 func (m *Model) Params() dlt.Params { return m.p }
 
 // Rn returns r_n, the latest processor available time — the instant at
@@ -128,7 +137,8 @@ func (m *Model) Avail() []float64 { return m.avail }
 
 // CpsI returns the heterogeneous unit processing costs Cps_i of Eq. 1,
 // in processor order. The slice is shared with the model and must not be
-// modified. CpsI[n-1] always equals Cps, and the sequence is non-decreasing
+// modified. CpsI[n-1] always equals the last processor's own Cps; for the
+// homogeneous construction the sequence is non-decreasing
 // (earlier-available processors are modelled as more powerful).
 func (m *Model) CpsI() []float64 { return m.cpsI }
 
@@ -154,6 +164,9 @@ func (m *Model) EstCompletion() float64 { return m.rn + m.exec }
 // per-node send and finish times. Theorem 4 asserts
 // Dispatch().Completion ≤ EstCompletion().
 func (m *Model) Dispatch() (*dlt.Dispatch, error) {
+	if m.costs != nil {
+		return dlt.SimulateDispatchHetero(m.costs, m.sigma, m.avail, m.alphas)
+	}
 	return dlt.SimulateDispatch(m.p, m.sigma, m.avail, m.alphas)
 }
 
@@ -170,7 +183,7 @@ func (m *Model) MakespanFor(alphas []float64) float64 {
 	sendEnd := 0.0
 	makespan := 0.0
 	for i, a := range alphas {
-		sendEnd += a * m.sigma * m.p.Cms
+		sendEnd += a * m.sigma * m.baseCms(i)
 		finish := sendEnd + a*m.sigma*m.cpsI[i]
 		if finish > makespan {
 			makespan = finish

@@ -38,11 +38,12 @@ func (m *Model) CheckLemma2() bool {
 	return true
 }
 
-// CheckAssertion3 verifies r_n − r_i ≥ (Cps/Cps_i)·Ê − Ê (Assertion 3).
+// CheckAssertion3 verifies r_n − r_i ≥ (Cps/Cps_i)·Ê − Ê (Assertion 3),
+// with each node's own base Cps for heterogeneous models.
 func (m *Model) CheckAssertion3() bool {
 	for i, ri := range m.avail {
 		lhs := m.rn - ri
-		rhs := m.p.Cps/m.cpsI[i]*m.exec - m.exec
+		rhs := m.baseCps(i)/m.cpsI[i]*m.exec - m.exec
 		if !leq(rhs, lhs) {
 			return false
 		}

@@ -7,6 +7,7 @@ package driver
 import (
 	"fmt"
 	"math"
+	"math/rand/v2"
 
 	"rtdls/internal/cluster"
 	"rtdls/internal/dlt"
@@ -34,8 +35,8 @@ func Algorithms() []string {
 // see Default for the paper's baseline.
 type Config struct {
 	N          int     // processing nodes
-	Cms        float64 // unit transmission cost
-	Cps        float64 // unit processing cost
+	Cms        float64 // unit transmission cost (reference when heterogeneous)
+	Cps        float64 // unit processing cost (reference when heterogeneous)
 	Policy     string  // "edf" or "fifo"
 	Algorithm  string  // one of the Alg* constants
 	SystemLoad float64
@@ -44,6 +45,25 @@ type Config struct {
 	Horizon    float64 // arrival window; the run drains remaining work after it
 	Seed       uint64
 	Rounds     int // dispatch rounds for AlgDLTMR (default 2)
+
+	// NodeCosts optionally gives every node its own cost coefficients
+	// (len must equal N). A uniform table reproduces the scalar Cms/Cps
+	// run bit for bit; a non-uniform one switches every partitioner to the
+	// heterogeneous path. When set, the workload is calibrated against the
+	// table's reference (mean) coefficients instead of Cms/Cps.
+	NodeCosts []dlt.NodeCost
+
+	// CmsSpread and CpsSpread, when > 1 and NodeCosts is empty, generate a
+	// deterministic per-node cost table around (Cms, Cps): each node's
+	// coefficient is drawn log-uniformly from [x/√s, x·√s], preserving the
+	// geometric mean. The workload stays calibrated against the scalar
+	// Cms/Cps so a spread sweep holds the offered load constant. 0 or 1
+	// leaves the corresponding coefficient homogeneous.
+	CmsSpread float64
+	CpsSpread float64
+	// HeteroSeed seeds the spread draw (independent of the workload Seed,
+	// so paired-seed runs share one cluster).
+	HeteroSeed uint64
 
 	Observer rt.Observer // optional lifecycle hooks
 }
@@ -59,8 +79,70 @@ func Default() Config {
 	}
 }
 
-// Params returns the cluster cost parameters.
+// Params returns the scalar reference cost parameters.
 func (c Config) Params() dlt.Params { return dlt.Params{Cms: c.Cms, Cps: c.Cps} }
+
+// CostModel resolves the per-node cost table the run executes against:
+// NodeCosts verbatim when given, a spread-generated table when CmsSpread
+// or CpsSpread exceeds 1, and the uniform scalar model otherwise.
+func (c Config) CostModel() (*dlt.CostModel, error) {
+	for _, s := range []float64{c.CmsSpread, c.CpsSpread} {
+		if math.IsNaN(s) || math.IsInf(s, 0) || s < 0 {
+			return nil, fmt.Errorf("driver: invalid cost spread %v", s)
+		}
+	}
+	if len(c.NodeCosts) > 0 {
+		if len(c.NodeCosts) != c.N {
+			return nil, fmt.Errorf("driver: %d node costs for N=%d nodes", len(c.NodeCosts), c.N)
+		}
+		return dlt.NewCostModel(c.NodeCosts)
+	}
+	if c.CmsSpread > 1 || c.CpsSpread > 1 {
+		costs, err := SpreadCosts(c.N, c.Params(), c.CmsSpread, c.CpsSpread, c.HeteroSeed)
+		if err != nil {
+			return nil, err
+		}
+		return dlt.NewCostModel(costs)
+	}
+	return dlt.UniformCosts(c.Params(), c.N)
+}
+
+// SpreadCosts generates a deterministic heterogeneous cost table around
+// the scalar reference p: node i's Cms is drawn log-uniformly from
+// [Cms/√s, Cms·√s] with s = cmsSpread (likewise Cps with cpsSpread), so
+// the per-node geometric mean stays at the reference. A spread ≤ 1 leaves
+// that coefficient at its reference value; the same seed always yields the
+// same table.
+func SpreadCosts(n int, p dlt.Params, cmsSpread, cpsSpread float64, seed uint64) ([]dlt.NodeCost, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("driver: SpreadCosts needs n >= 1, got %d", n)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	for _, s := range []float64{cmsSpread, cpsSpread} {
+		if math.IsNaN(s) || math.IsInf(s, 0) || s < 0 {
+			return nil, fmt.Errorf("driver: invalid spread %v", s)
+		}
+	}
+	rng := rand.New(rand.NewPCG(seed^0xa076_1d64_78bd_642f, seed+0xe703_7ed1_a0b4_28db))
+	costs := make([]dlt.NodeCost, n)
+	draw := func(ref, spread float64) float64 {
+		if spread <= 1 {
+			return ref
+		}
+		// log-uniform over [ref/√spread, ref·√spread]
+		u := rng.Float64() - 0.5
+		return ref * math.Exp(u*math.Log(spread))
+	}
+	for i := range costs {
+		costs[i] = dlt.NodeCost{
+			Cms: draw(p.Cms, cmsSpread),
+			Cps: draw(p.Cps, cpsSpread),
+		}
+	}
+	return costs, nil
+}
 
 // NewPartitioner constructs the rt.Partitioner named by the configuration.
 func (c Config) NewPartitioner() (rt.Partitioner, error) {
@@ -122,12 +204,23 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	cl, err := cluster.New(cfg.N, cfg.Params())
+	cm, err := cfg.CostModel()
 	if err != nil {
 		return nil, err
 	}
+	cl, err := cluster.NewHetero(cm.Costs())
+	if err != nil {
+		return nil, err
+	}
+	// The workload is calibrated against the scalar reference coefficients
+	// so a heterogeneity sweep holds the offered load constant; explicit
+	// NodeCosts anchor it to the table's own reference instead.
+	wp := cfg.Params()
+	if len(cfg.NodeCosts) > 0 {
+		wp = cm.Reference()
+	}
 	gen, err := workload.New(workload.Config{
-		N: cfg.N, Params: cfg.Params(),
+		N: cfg.N, Params: wp,
 		SystemLoad: cfg.SystemLoad, AvgSigma: cfg.AvgSigma,
 		DCRatio: cfg.DCRatio, Horizon: cfg.Horizon, Seed: cfg.Seed,
 	})
@@ -172,9 +265,9 @@ func Run(cfg Config) (*Result, error) {
 			// timeline re-simulated for the actual completion.
 			actual := pl.Est
 			if pl.Rounds <= 1 && !pl.SimultaneousStart {
-				d, err := dlt.SimulateDispatch(cl.Params(), pl.Task.Sigma, pl.Starts, pl.Alphas)
-				if err != nil {
-					fail(fmt.Errorf("driver: dispatching task %d: %w", pl.Task.ID, err))
+				d, derr := cl.Costs().SimulateFor(pl.Nodes, pl.Task.Sigma, pl.Starts, pl.Alphas)
+				if derr != nil {
+					fail(fmt.Errorf("driver: dispatching task %d: %w", pl.Task.ID, derr))
 					return
 				}
 				actual = d.Completion

@@ -1,0 +1,227 @@
+package driver
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"rtdls/internal/dlt"
+	"rtdls/internal/verify"
+)
+
+// sameResult compares every metric of two runs for exact (bit-identical)
+// equality; Config is excluded since the two runs are configured through
+// different mechanisms on purpose.
+func sameResult(t *testing.T, a, b *Result, what string) {
+	t.Helper()
+	if a.Arrivals != b.Arrivals || a.Accepted != b.Accepted || a.Rejected != b.Rejected ||
+		a.Committed != b.Committed || a.MaxQueueLen != b.MaxQueueLen {
+		t.Fatalf("%s: admission counts differ:\n%+v\n%+v", what, a, b)
+	}
+	exact := []struct {
+		name string
+		x, y float64
+	}{
+		{"RejectRatio", a.RejectRatio, b.RejectRatio},
+		{"MeanResponse", a.MeanResponse, b.MeanResponse},
+		{"MeanNodes", a.MeanNodes, b.MeanNodes},
+		{"MaxLateness", a.MaxLateness, b.MaxLateness},
+		{"MeanEstSlack", a.MeanEstSlack, b.MeanEstSlack},
+		{"Utilization", a.Utilization, b.Utilization},
+		{"ReservedIdleFrac", a.ReservedIdleFrac, b.ReservedIdleFrac},
+		{"Span", a.Span, b.Span},
+	}
+	for _, e := range exact {
+		if e.x != e.y && !(math.IsInf(e.x, -1) && math.IsInf(e.y, -1)) {
+			t.Fatalf("%s: %s differs bit-for-bit: %v vs %v", what, e.name, e.x, e.y)
+		}
+	}
+}
+
+// TestHomogeneousEquivalenceProperty is the refactor's acceptance
+// property: for randomized homogeneous configurations, a run configured
+// through the generalized per-node path (an explicit uniform NodeCosts
+// table) reproduces the legacy scalar-Params run bit for bit — identical
+// plans, admission decisions and metrics — across every algorithm and
+// policy.
+func TestHomogeneousEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(101, 103))
+	algs := Algorithms()
+	policies := []string{"edf", "fifo"}
+	for trial := 0; trial < 24; trial++ {
+		cfg := Config{
+			N:          2 + rng.IntN(15),
+			Cms:        math.Exp(rng.Float64()*2 - 1),
+			Cps:        math.Exp(rng.Float64()*2) * 20,
+			Policy:     policies[rng.IntN(len(policies))],
+			Algorithm:  algs[trial%len(algs)],
+			SystemLoad: 0.2 + rng.Float64()*0.8,
+			AvgSigma:   50 + rng.Float64()*300,
+			DCRatio:    1 + rng.Float64()*9,
+			Horizon:    5e4,
+			Seed:       rng.Uint64(),
+			Rounds:     1 + rng.IntN(4),
+		}
+		legacy, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("legacy run (%+v): %v", cfg, err)
+		}
+
+		gen := cfg
+		gen.NodeCosts = make([]dlt.NodeCost, cfg.N)
+		for i := range gen.NodeCosts {
+			gen.NodeCosts[i] = dlt.NodeCost{Cms: cfg.Cms, Cps: cfg.Cps}
+		}
+		generalized, err := Run(gen)
+		if err != nil {
+			t.Fatalf("generalized run (%+v): %v", gen, err)
+		}
+		sameResult(t, legacy, generalized, cfg.Algorithm+"/"+cfg.Policy)
+	}
+}
+
+// TestHeteroRunGuarantees: heterogeneous runs across every algorithm keep
+// the hard real-time guarantee (no committed task misses its deadline) and
+// pass the independent verifier.
+func TestHeteroRunGuarantees(t *testing.T) {
+	for _, alg := range Algorithms() {
+		for _, spread := range []struct{ cms, cps float64 }{{1, 4}, {4, 1}, {3, 3}} {
+			cfg := Default()
+			cfg.Algorithm = alg
+			cfg.SystemLoad = 0.7
+			cfg.Horizon = 2e5
+			cfg.CmsSpread = spread.cms
+			cfg.CpsSpread = spread.cps
+			cfg.HeteroSeed = 42
+
+			cm, err := cfg.CostModel()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (spread.cms > 1 || spread.cps > 1) && cm.Uniform() {
+				t.Fatalf("spread config must produce a heterogeneous model")
+			}
+			chk := verify.NewCheckerCosts(cm)
+			cfg.Observer = chk
+
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%s spread=%v: %v", alg, spread, err)
+			}
+			if res.Committed > 0 && res.MaxLateness > 0 {
+				t.Fatalf("%s spread=%v: deadline missed, MaxLateness=%v", alg, spread, res.MaxLateness)
+			}
+			if !chk.OK() {
+				t.Fatalf("%s spread=%v: verifier failed:\n%s", alg, spread, chk.Report())
+			}
+			if res.Arrivals == 0 || res.Committed == 0 {
+				t.Fatalf("%s spread=%v: degenerate run %+v", alg, spread, res)
+			}
+		}
+	}
+}
+
+// TestExplicitNodeCostsRun: an explicitly heterogeneous table (including a
+// free link and a slow straggler) runs clean end to end.
+func TestExplicitNodeCostsRun(t *testing.T) {
+	cfg := Default()
+	cfg.N = 4
+	cfg.Horizon = 2e5
+	cfg.SystemLoad = 0.6
+	cfg.NodeCosts = []dlt.NodeCost{
+		{Cms: 0, Cps: 100}, // free link
+		{Cms: 1, Cps: 100}, // baseline
+		{Cms: 1, Cps: 400}, // slow CPU
+		{Cms: 4, Cps: 50},  // slow link, fast CPU
+	}
+	cm, err := cfg.CostModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := verify.NewCheckerCosts(cm)
+	cfg.Observer = chk
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed > 0 && res.MaxLateness > 0 {
+		t.Fatalf("deadline missed: %v", res.MaxLateness)
+	}
+	if !chk.OK() {
+		t.Fatalf("verifier failed:\n%s", chk.Report())
+	}
+}
+
+func TestConfigCostModelValidation(t *testing.T) {
+	cfg := Default()
+	cfg.NodeCosts = []dlt.NodeCost{{Cms: 1, Cps: 100}} // N is 16
+	if _, err := Run(cfg); err == nil {
+		t.Fatalf("length-mismatched NodeCosts must fail")
+	}
+	cfg = Default()
+	cfg.NodeCosts = make([]dlt.NodeCost, cfg.N)
+	for i := range cfg.NodeCosts {
+		cfg.NodeCosts[i] = dlt.NodeCost{Cms: 1, Cps: -5}
+	}
+	if _, err := Run(cfg); err == nil {
+		t.Fatalf("invalid node cost must fail")
+	}
+	cfg = Default()
+	cfg.CpsSpread = math.Inf(1)
+	if _, err := Run(cfg); err == nil {
+		t.Fatalf("infinite spread must fail")
+	}
+	cfg = Default()
+	cfg.CpsSpread = -3
+	if _, err := Run(cfg); err == nil {
+		t.Fatalf("negative spread must fail, not silently run homogeneous")
+	}
+}
+
+func TestSpreadCostsDeterministicAndCalibrated(t *testing.T) {
+	p := dlt.Params{Cms: 1, Cps: 100}
+	a, err := SpreadCosts(32, p, 4, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SpreadCosts(32, p, 4, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed must reproduce the same table")
+		}
+	}
+	c, err := SpreadCosts(32, p, 4, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("different seeds should draw different tables")
+	}
+	for i, nc := range a {
+		if nc.Cms < p.Cms/2-1e-12 || nc.Cms > p.Cms*2+1e-12 {
+			t.Fatalf("node %d Cms=%v outside [ref/√s, ref·√s]", i, nc.Cms)
+		}
+		if nc.Cps < p.Cps/2-1e-12 || nc.Cps > p.Cps*2+1e-12 {
+			t.Fatalf("node %d Cps=%v outside [ref/√s, ref·√s]", i, nc.Cps)
+		}
+	}
+	// spread ≤ 1 keeps the coefficient at its reference.
+	u, err := SpreadCosts(8, p, 1, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nc := range u {
+		if nc != (dlt.NodeCost{Cms: 1, Cps: 100}) {
+			t.Fatalf("unit spread must stay at the reference: %v", nc)
+		}
+	}
+}

@@ -32,8 +32,8 @@ func (r *PanelResult) CSV() string {
 func (r *PanelResult) GnuplotDat() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "# %s — %s\n", r.Panel.Figure, r.Panel.Title)
-	fmt.Fprintf(&b, "# nodes=%d, Cms=%g, Cps=%g, average data size = %g, dcratio=%g\n",
-		r.Panel.N, r.Panel.Cms, r.Panel.Cps, r.Panel.AvgSigma, r.Panel.DCRatio)
+	fmt.Fprintf(&b, "# nodes=%d, Cms=%g, Cps=%g, average data size = %g, dcratio=%g%s\n",
+		r.Panel.N, r.Panel.Cms, r.Panel.Cps, r.Panel.AvgSigma, r.Panel.DCRatio, r.Panel.heteroSuffix())
 	fmt.Fprintf(&b, "# horizon=%g, runs=%d\n", r.Opts.Horizon, r.Opts.Runs)
 	b.WriteString("# load")
 	for _, a := range r.Panel.Algs {
@@ -55,9 +55,9 @@ func (r *PanelResult) GnuplotDat() string {
 func (r *PanelResult) Table() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s — %s\n", r.Panel.Figure, r.Panel.Title)
-	fmt.Fprintf(&b, "nodes=%d Cms=%g Cps=%g avgσ=%g dcratio=%g (horizon=%g, runs=%d)\n",
+	fmt.Fprintf(&b, "nodes=%d Cms=%g Cps=%g avgσ=%g dcratio=%g%s (horizon=%g, runs=%d)\n",
 		r.Panel.N, r.Panel.Cms, r.Panel.Cps, r.Panel.AvgSigma, r.Panel.DCRatio,
-		r.Opts.Horizon, r.Opts.Runs)
+		r.Panel.heteroSuffix(), r.Opts.Horizon, r.Opts.Runs)
 	fmt.Fprintf(&b, "%-6s", "load")
 	for _, a := range r.Panel.Algs {
 		fmt.Fprintf(&b, " %22s", a.Name)
@@ -105,8 +105,8 @@ func (r *PanelResult) Chart(width, height int) string {
 		}
 		series[ai] = s
 	}
-	title := fmt.Sprintf("%s — %s\nnodes=%d, Cms=%g, Cps=%g, average data size = %g, dcratio=%g",
+	title := fmt.Sprintf("%s — %s\nnodes=%d, Cms=%g, Cps=%g, average data size = %g, dcratio=%g%s",
 		r.Panel.Figure, r.Panel.Title, r.Panel.N, r.Panel.Cms, r.Panel.Cps,
-		r.Panel.AvgSigma, r.Panel.DCRatio)
+		r.Panel.AvgSigma, r.Panel.DCRatio, r.Panel.heteroSuffix())
 	return plot.Chart(title, "System Load", "Task Reject Ratio", series, width, height)
 }

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHeteroPanelsPresent: the heterogeneous extension panels are part of
+// the inventory and carry their spread parameters.
+func TestHeteroPanelsPresent(t *testing.T) {
+	for _, id := range []string{"xHETa", "xHETb", "xHETc", "xHETd", "xHETe"} {
+		p, ok := PanelByID(id)
+		if !ok {
+			t.Fatalf("panel %s missing", id)
+		}
+		if p.CmsSpread <= 1 && p.CpsSpread <= 1 {
+			t.Fatalf("panel %s is not heterogeneous: %+v", id, p)
+		}
+	}
+	if p, _ := PanelByID("xHETd"); p.CmsSpread != 4 || p.CpsSpread != 4 {
+		t.Fatalf("xHETd spreads wrong: %+v", p)
+	}
+}
+
+// TestHeteroPanelRuns executes a trimmed heterogeneous panel end to end:
+// paired seeds, spread costs, every cell populated, and the table header
+// reporting the heterogeneity.
+func TestHeteroPanelRuns(t *testing.T) {
+	p, ok := PanelByID("xHETb")
+	if !ok {
+		t.Fatalf("panel xHETb missing")
+	}
+	p.Loads = []float64{0.3, 0.8}
+	r, err := Run(p, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cells) != 2 {
+		t.Fatalf("cells: %d", len(r.Cells))
+	}
+	for _, c := range r.Cells {
+		for ai := range p.Algs {
+			s := c.RejectRatio[ai]
+			if s.N != quickOpts().Runs {
+				t.Fatalf("load %v alg %d: %d runs aggregated, want %d", c.Load, ai, s.N, quickOpts().Runs)
+			}
+			if s.Mean < 0 || s.Mean > 1 {
+				t.Fatalf("load %v alg %d: reject ratio %v out of range", c.Load, ai, s.Mean)
+			}
+		}
+	}
+	tbl := r.Table()
+	if !strings.Contains(tbl, "cps-spread=4") {
+		t.Fatalf("table header must report the spread:\n%s", tbl)
+	}
+	dat := r.GnuplotDat()
+	if !strings.Contains(dat, "cps-spread=4") {
+		t.Fatalf("gnuplot header must report the spread:\n%s", dat)
+	}
+}

@@ -15,8 +15,24 @@ type Panel struct {
 	AvgSigma float64
 	DCRatio  float64
 
+	// CmsSpread and CpsSpread (>1) make the panel's cluster heterogeneous:
+	// per-node costs are drawn log-uniformly around (Cms, Cps), with one
+	// deterministic cluster per panel shared by every algorithm, load and
+	// run, so comparisons stay paired. 0 leaves the cluster homogeneous.
+	CmsSpread float64
+	CpsSpread float64
+
 	Algs  []Algorithm
 	Loads []float64
+}
+
+// heteroSuffix formats the heterogeneity parameters for table headers, or
+// returns "" for a homogeneous panel.
+func (p Panel) heteroSuffix() string {
+	if p.CmsSpread <= 1 && p.CpsSpread <= 1 {
+		return ""
+	}
+	return fmt.Sprintf(", cms-spread=%g, cps-spread=%g", p.CmsSpread, p.CpsSpread)
 }
 
 // DefaultLoads returns the paper's SystemLoad sweep {0.1, 0.2, …, 1.0}.
@@ -173,6 +189,31 @@ func AllPanels() []Panel {
 	// paper's comparisons despite lacking IITs.
 	add(base("xAN", "Sec. 5 (context)", "OPR-AN vs OPR-MN vs DLT",
 		EDFDLT, EDFOPRMN, EDFOPRAN))
+
+	// Heterogeneous-cluster panels (beyond the paper, after Gallet/Robert/
+	// Vivien and Wu/Cao/Robertazzi): per-node cost spread around the
+	// baseline coefficients. xHETa–c widen the compute spread; xHETd also
+	// spreads the link costs; xHETe pits DLT against User-Split when node
+	// speeds differ (equal chunks hurt most there).
+	for i, sp := range []float64{2, 4, 8} {
+		p := base(fmt.Sprintf("xHET%c", 'a'+i), "Extension (hetero)",
+			fmt.Sprintf("Heterogeneous cluster, Cps spread ×%g", sp), EDFDLT, EDFOPRMN)
+		p.CpsSpread = sp
+		add(p)
+	}
+	{
+		p := base("xHETd", "Extension (hetero)", "Heterogeneous cluster, Cms & Cps spread ×4",
+			EDFDLT, EDFOPRMN)
+		p.CmsSpread = 4
+		p.CpsSpread = 4
+		add(p)
+	}
+	{
+		p := base("xHETe", "Extension (hetero)", "DLT vs User-Split, Cps spread ×4",
+			EDFDLT, EDFUserSplit)
+		p.CpsSpread = 4
+		add(p)
+	}
 
 	return ps
 }

@@ -114,6 +114,11 @@ func Run(p Panel, o Options) (*PanelResult, error) {
 					DCRatio:    p.DCRatio,
 					Horizon:    o.Horizon,
 					Seed:       SeedFor(o.BaseSeed, p.ID, j.li, j.run),
+					CmsSpread:  p.CmsSpread,
+					CpsSpread:  p.CpsSpread,
+					// One deterministic cluster per panel: every load,
+					// algorithm and run shares the same node cost table.
+					HeteroSeed: SeedFor(o.BaseSeed, p.ID+"/hetero", 0, 0),
 				}
 				res, err := driver.Run(cfg)
 				outs <- outcome{j, res, err}

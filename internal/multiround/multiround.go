@@ -79,6 +79,59 @@ func Schedule(p dlt.Params, sigma float64, avail, totals []float64, rounds int) 
 	return tl, nil
 }
 
+// ScheduleHetero is Schedule over per-node cost coefficients: node i's
+// installments are transmitted at its own Cms_i and computed at its own
+// Cps_i. costs, avail and totals are parallel, in dispatch order. With
+// every cost equal it reproduces Schedule operation for operation.
+func ScheduleHetero(costs []dlt.NodeCost, sigma float64, avail, totals []float64, rounds int) (*Timeline, error) {
+	n := len(costs)
+	if n == 0 || len(avail) != n || len(totals) != n {
+		return nil, fmt.Errorf("multiround: %d costs, %d avail times, %d totals", n, len(avail), len(totals))
+	}
+	for i, c := range costs {
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("multiround: costs[%d]: %w", i, err)
+		}
+	}
+	if rounds < 1 {
+		return nil, fmt.Errorf("multiround: rounds must be >= 1, got %d", rounds)
+	}
+	if !(sigma >= 0) || math.IsInf(sigma, 0) {
+		return nil, fmt.Errorf("multiround: invalid sigma %v", sigma)
+	}
+	for i := 1; i < n; i++ {
+		if avail[i] < avail[i-1] {
+			return nil, fmt.Errorf("multiround: avail times not sorted at %d", i)
+		}
+	}
+	linkFree := math.Inf(-1)
+	compEnd := make([]float64, n)
+	for i := range compEnd {
+		compEnd[i] = math.Inf(-1)
+	}
+	tl := &Timeline{Finish: make([]float64, n), Completion: math.Inf(-1)}
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < n; i++ {
+			if totals[i] < 0 {
+				return nil, fmt.Errorf("multiround: negative total[%d]=%v", i, totals[i])
+			}
+			chunk := totals[i] * sigma / float64(rounds)
+			sendStart := math.Max(linkFree, avail[i])
+			sendEnd := sendStart + chunk*costs[i].Cms
+			linkFree = sendEnd
+			compStart := math.Max(sendEnd, compEnd[i])
+			compEnd[i] = compStart + chunk*costs[i].Cps
+		}
+	}
+	for i := 0; i < n; i++ {
+		tl.Finish[i] = math.Max(compEnd[i], avail[i])
+		if tl.Finish[i] > tl.Completion {
+			tl.Completion = tl.Finish[i]
+		}
+	}
+	return tl, nil
+}
+
 // Partitioner is an rt.Partitioner implementing the multi-round extension.
 // Create one with New.
 type Partitioner struct {
@@ -112,6 +165,9 @@ func (p Partitioner) Name() string { return fmt.Sprintf("dlt-mr%d", p.rounds) }
 // single-round estimate is the Theorem-4 upper bound), admission against it
 // preserves the real-time guarantee.
 func (p Partitioner) Plan(ctx *rt.PlanContext, t *rt.Task) (*rt.Plan, error) {
+	if cm := ctx.Costs; cm != nil && !cm.Uniform() {
+		return p.planHetero(cm, ctx, t)
+	}
 	floor := math.Max(ctx.Now, t.Arrival)
 	absD := t.AbsDeadline()
 	slack := absD - floor
@@ -161,6 +217,78 @@ func (p Partitioner) Plan(ctx *rt.PlanContext, t *rt.Task) (*rt.Plan, error) {
 		d, err := m.Dispatch()
 		if err != nil {
 			return nil, fmt.Errorf("multiround: single-round dispatch: %w", err)
+		}
+		release := make([]float64, n)
+		for i := range release {
+			release[i] = math.Max(d.Finish[i], starts[i])
+		}
+		return &rt.Plan{
+			Task:    t,
+			Nodes:   ids,
+			Starts:  starts,
+			Release: release,
+			Alphas:  m.Alphas(),
+			Est:     srEst,
+			Rounds:  1,
+		}, nil
+	}
+	return nil, rt.ErrInfeasible
+}
+
+// planHetero is the per-node-cost branch of Plan: the heterogeneous model
+// partition of core.NewHetero, installments at each node's own
+// coefficients, and both the multi-round and the single-round fallback
+// admitted against exactly simulated timelines (the Theorem-4 bound is not
+// available for per-node Cms, and exact simulation preserves the hard
+// real-time guarantee by itself).
+func (p Partitioner) planHetero(cm *dlt.CostModel, ctx *rt.PlanContext, t *rt.Task) (*rt.Plan, error) {
+	floor := math.Max(ctx.Now, t.Arrival)
+	absD := t.AbsDeadline()
+	slack := absD - floor
+	n0, ok := dlt.HeteroMinNodesBound(cm, t.Sigma, slack)
+	if !ok || n0 > ctx.N {
+		return nil, rt.ErrInfeasible
+	}
+	eps := 1e-9 * math.Max(1, math.Abs(absD))
+	for n := n0; n <= ctx.N; n++ {
+		vids, vtimes := ctx.View.Earliest(n)
+		starts := make([]float64, n)
+		for i, tm := range vtimes {
+			starts[i] = math.Max(tm, floor)
+		}
+		costs := cm.Select(vids)
+		m, err := core.NewHetero(costs, t.Sigma, starts)
+		if err != nil {
+			return nil, fmt.Errorf("multiround: heterogeneous model: %w", err)
+		}
+		tl, err := ScheduleHetero(costs, t.Sigma, starts, m.Alphas(), p.rounds)
+		if err != nil {
+			return nil, err
+		}
+		d, err := m.Dispatch()
+		if err != nil {
+			return nil, fmt.Errorf("multiround: single-round dispatch: %w", err)
+		}
+		srEst := d.Completion
+		if math.Min(tl.Completion, srEst) > absD+eps {
+			continue
+		}
+		ids := make([]int, n)
+		copy(ids, vids)
+		if tl.Completion <= srEst {
+			release := make([]float64, n)
+			for i := range release {
+				release[i] = math.Max(tl.Finish[i], starts[i])
+			}
+			return &rt.Plan{
+				Task:    t,
+				Nodes:   ids,
+				Starts:  starts,
+				Release: release,
+				Alphas:  m.Alphas(),
+				Est:     tl.Completion,
+				Rounds:  p.rounds,
+			}, nil
 		}
 		release := make([]float64, n)
 		for i := range release {

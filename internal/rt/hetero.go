@@ -1,0 +1,141 @@
+package rt
+
+import (
+	"fmt"
+	"math"
+
+	"rtdls/internal/core"
+	"rtdls/internal/dlt"
+)
+
+// This file holds the heterogeneous-cluster branches of the three
+// single-round partitioners. Node selection stays availability-ordered (the
+// paper's rule); what changes is the partition mathematics — per-node
+// (Cms_i, Cps_i) coefficients via core.NewHetero and the dlt hetero closed
+// forms — and the admission estimate. The paper proves the Ê bound
+// (Theorem 4) only for a common Cms, so heterogeneous plans are admitted
+// against the exactly simulated dispatch timeline instead: the linear cost
+// model makes that timeline fully deterministic, which preserves the hard
+// real-time guarantee without a new theorem (the same argument package
+// multiround uses for its exact-simulation estimates).
+
+// planHeteroIIT is the IITDLT partitioner over per-node costs.
+func planHeteroIIT(cm *dlt.CostModel, ctx *PlanContext, t *Task) (*Plan, error) {
+	absD := t.AbsDeadline()
+	slack := absD - ctx.startFloor(t)
+	n0, ok := dlt.HeteroMinNodesBound(cm, t.Sigma, slack)
+	if !ok || n0 > ctx.N {
+		return nil, ErrInfeasible
+	}
+	for n := n0; n <= ctx.N; n++ {
+		ids, starts := clampedStarts(ctx, t, n)
+		costs := cm.Select(ids)
+		m, err := core.NewHetero(costs, t.Sigma, starts)
+		if err != nil {
+			return nil, fmt.Errorf("rt: dlt-iit: building heterogeneous model: %w", err)
+		}
+		d, err := m.Dispatch()
+		if err != nil {
+			return nil, fmt.Errorf("rt: dlt-iit: dispatching: %w", err)
+		}
+		est := d.Completion
+		if est > absD+deadlineEps(absD) {
+			continue
+		}
+		release := make([]float64, n)
+		for i := range release {
+			release[i] = math.Max(d.Finish[i], starts[i])
+		}
+		return &Plan{
+			Task:    t,
+			Nodes:   ids,
+			Starts:  starts,
+			Release: release,
+			Alphas:  m.Alphas(),
+			Est:     est,
+			Rounds:  1,
+		}, nil
+	}
+	return nil, ErrInfeasible
+}
+
+// planHeteroOPR is the OPR baseline over per-node costs: the task starts
+// only once all n nodes are free (at r_n), wasting the inserted idle times,
+// and runs the optimal heterogeneous simultaneous-start partition. Because
+// every node starts at r_n and the partition equalises finish times, the
+// estimate r_n + E({costs}, σ) is exact.
+func planHeteroOPR(o OPR, cm *dlt.CostModel, ctx *PlanContext, t *Task) (*Plan, error) {
+	absD := t.AbsDeadline()
+	n0 := ctx.N
+	if !o.AllNodes {
+		slack := absD - ctx.startFloor(t)
+		var ok bool
+		n0, ok = dlt.HeteroMinNodesBound(cm, t.Sigma, slack)
+		if !ok || n0 > ctx.N {
+			return nil, ErrInfeasible
+		}
+	}
+	for n := n0; n <= ctx.N; n++ {
+		ids, starts := clampedStarts(ctx, t, n)
+		rn := starts[n-1]
+		costs := cm.Select(ids)
+		e, err := dlt.HeteroExecTime(costs, t.Sigma)
+		if err != nil {
+			return nil, fmt.Errorf("rt: %s: heterogeneous execution time: %w", o.Name(), err)
+		}
+		est := rn + e
+		if est > absD+deadlineEps(absD) {
+			continue
+		}
+		alphas, err := dlt.HeteroAlphas(costs)
+		if err != nil {
+			return nil, fmt.Errorf("rt: %s: heterogeneous partition: %w", o.Name(), err)
+		}
+		reserved := 0.0
+		for _, s := range starts {
+			reserved += rn - s
+		}
+		return &Plan{
+			Task:              t,
+			Nodes:             ids,
+			Starts:            starts,
+			Release:           uniform(n, est),
+			Alphas:            alphas,
+			Est:               est,
+			ReservedIdle:      reserved,
+			SimultaneousStart: true,
+			Rounds:            1,
+		}, nil
+	}
+	return nil, ErrInfeasible
+}
+
+// planHeteroUserSplit is the User-Split practice over per-node costs: n
+// equal chunks dispatched in availability order, each node's exact finish
+// taken from the heterogeneous dispatch simulation.
+func planHeteroUserSplit(cm *dlt.CostModel, ctx *PlanContext, t *Task) (*Plan, error) {
+	k := t.UserN
+	if k < 1 {
+		return nil, ErrInfeasible
+	}
+	if k > ctx.N {
+		return nil, fmt.Errorf("rt: user-split: task %d requests %d nodes but the cluster has %d",
+			t.ID, k, ctx.N)
+	}
+	ids, starts := clampedStarts(ctx, t, k)
+	d, err := dlt.SimulateDispatchHetero(cm.Select(ids), t.Sigma, starts, dlt.EqualAlphas(k))
+	if err != nil {
+		return nil, fmt.Errorf("rt: user-split: %w", err)
+	}
+	release := make([]float64, k)
+	copy(release, d.Finish)
+	return &Plan{
+		Task:    t,
+		Nodes:   ids,
+		Starts:  starts,
+		Release: release,
+		Alphas:  dlt.EqualAlphas(k),
+		Est:     d.Completion,
+		Rounds:  1,
+	}, nil
+}

@@ -29,6 +29,9 @@ func (IITDLT) Name() string { return "dlt-iit" }
 
 // Plan implements Partitioner.
 func (IITDLT) Plan(ctx *PlanContext, t *Task) (*Plan, error) {
+	if cm := ctx.heteroCosts(); cm != nil {
+		return planHeteroIIT(cm, ctx, t)
+	}
 	absD := t.AbsDeadline()
 	slack := absD - ctx.startFloor(t)
 	n0, ok := dlt.MinNodesBound(ctx.P, t.Sigma, slack)

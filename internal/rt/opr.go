@@ -30,6 +30,9 @@ func (o OPR) Name() string {
 
 // Plan implements Partitioner.
 func (o OPR) Plan(ctx *PlanContext, t *Task) (*Plan, error) {
+	if cm := ctx.heteroCosts(); cm != nil {
+		return planHeteroOPR(o, cm, ctx, t)
+	}
 	absD := t.AbsDeadline()
 	n0 := ctx.N
 	if !o.AllNodes {

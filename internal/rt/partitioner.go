@@ -15,10 +15,23 @@ var ErrInfeasible = errors.New("rt: no feasible assignment meets the deadline")
 
 // PlanContext carries the cluster state a partitioner plans against.
 type PlanContext struct {
-	P    dlt.Params
-	N    int        // cluster size
-	Now  float64    // current time; starts are clamped to max(Now, task arrival)
-	View *AvailView // tentative per-node release times
+	P     dlt.Params     // reference cost coefficients (the shared pair when homogeneous)
+	N     int            // cluster size
+	Now   float64        // current time; starts are clamped to max(Now, task arrival)
+	View  *AvailView     // tentative per-node release times
+	Costs *dlt.CostModel // per-node cost coefficients; nil or uniform = homogeneous
+}
+
+// heteroCosts returns the per-node cost model when the cluster is genuinely
+// heterogeneous, and nil otherwise. Uniform cost models deliberately return
+// nil so every partitioner routes them through the legacy homogeneous
+// formulas — that is what makes a uniform CostModel reproduce the scalar
+// (Cms, Cps) scheduler bit for bit.
+func (ctx *PlanContext) heteroCosts() *dlt.CostModel {
+	if ctx.Costs != nil && !ctx.Costs.Uniform() {
+		return ctx.Costs
+	}
+	return nil
 }
 
 // startFloor returns the earliest instant the task may occupy a node.

@@ -102,7 +102,7 @@ func (s *Scheduler) Submit(t *Task, now float64) (accepted bool, err error) {
 	}
 
 	view := NewAvailView(s.cl.AvailTimes())
-	ctx := &PlanContext{P: s.cl.Params(), N: s.cl.N(), Now: now, View: view}
+	ctx := &PlanContext{P: s.cl.Params(), N: s.cl.N(), Now: now, View: view, Costs: s.cl.Costs()}
 	newPlans := make(map[int64]*Plan, len(cand))
 	for _, ti := range cand {
 		pl, perr := s.part.Plan(ctx, ti)

@@ -20,6 +20,9 @@ func (UserSplit) Name() string { return "user-split" }
 
 // Plan implements Partitioner.
 func (UserSplit) Plan(ctx *PlanContext, t *Task) (*Plan, error) {
+	if cm := ctx.heteroCosts(); cm != nil {
+		return planHeteroUserSplit(cm, ctx, t)
+	}
 	k := t.UserN
 	if k < 1 {
 		// No node count can meet the deadline even on an idle cluster

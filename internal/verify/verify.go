@@ -36,8 +36,9 @@ func (v Violation) String() string {
 // Checker implements rt.Observer and re-validates every committed plan.
 // Not safe for concurrent use (neither is the scheduler).
 type Checker struct {
-	p dlt.Params
-	n int
+	p  dlt.Params
+	cm *dlt.CostModel // nil or uniform: re-simulate with the scalar p
+	n  int
 
 	nodeBusyUntil []float64 // independent shadow of per-node occupation
 	violations    []Violation
@@ -47,13 +48,25 @@ type Checker struct {
 	worstEstimateGap          float64 // max(actual − estimate)
 }
 
-// NewChecker returns a checker for a cluster of n nodes with the given
-// cost parameters.
+// NewChecker returns a checker for a homogeneous cluster of n nodes with
+// the given cost parameters.
 func NewChecker(p dlt.Params, n int) *Checker {
 	return &Checker{
 		p:             p,
 		n:             n,
 		nodeBusyUntil: make([]float64, n),
+		worstLateness: math.Inf(-1),
+	}
+}
+
+// NewCheckerCosts returns a checker that re-simulates committed dispatches
+// against the given per-node cost model.
+func NewCheckerCosts(cm *dlt.CostModel) *Checker {
+	return &Checker{
+		p:             cm.Reference(),
+		cm:            cm,
+		n:             cm.N(),
+		nodeBusyUntil: make([]float64, cm.N()),
 		worstLateness: math.Inf(-1),
 	}
 }
@@ -101,7 +114,15 @@ func (c *Checker) OnCommit(now float64, pl *rt.Plan) {
 	// independent dispatch model here.
 	actual := pl.Est
 	if pl.Rounds <= 1 && !pl.SimultaneousStart {
-		d, err := dlt.SimulateDispatch(c.p, task.Sigma, pl.Starts, pl.Alphas)
+		var (
+			d   *dlt.Dispatch
+			err error
+		)
+		if c.cm != nil {
+			d, err = c.cm.SimulateFor(pl.Nodes, task.Sigma, pl.Starts, pl.Alphas)
+		} else {
+			d, err = dlt.SimulateDispatch(c.p, task.Sigma, pl.Starts, pl.Alphas)
+		}
 		if err != nil {
 			c.add(now, task.ID, "causality", fmt.Sprintf("dispatch failed: %v", err))
 			return

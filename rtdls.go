@@ -22,6 +22,39 @@ const Version = "1.0.0"
 // the time to process one unit on a node.
 type Params = dlt.Params
 
+// NodeCost holds one node's own linear cost coefficients (Cms_i, Cps_i)
+// for heterogeneous clusters.
+type NodeCost = dlt.NodeCost
+
+// CostModel is an immutable per-node cost table; a uniform table
+// reproduces the homogeneous scalar-Params behaviour bit for bit.
+type CostModel = dlt.CostModel
+
+// NewCostModel builds a per-node cost model (indexed by node id).
+func NewCostModel(costs []NodeCost) (*CostModel, error) { return dlt.NewCostModel(costs) }
+
+// UniformCosts returns the cost model of a homogeneous cluster of n nodes
+// with scalar coefficients p.
+func UniformCosts(p Params, n int) (*CostModel, error) { return dlt.UniformCosts(p, n) }
+
+// SpreadCosts generates a deterministic heterogeneous cost table around
+// the scalar reference p: log-uniform per-node draws within the given
+// spread factors (≤ 1 keeps a coefficient homogeneous).
+func SpreadCosts(n int, p Params, cmsSpread, cpsSpread float64, seed uint64) ([]NodeCost, error) {
+	return driver.SpreadCosts(n, p, cmsSpread, cpsSpread, seed)
+}
+
+// HeteroAlphas returns the optimal single-round partition for
+// simultaneously available heterogeneous nodes in dispatch order.
+func HeteroAlphas(costs []NodeCost) ([]float64, error) { return dlt.HeteroAlphas(costs) }
+
+// HeteroExecTime returns the optimal single-round execution time of a load
+// σ on simultaneously available heterogeneous nodes — the generalisation
+// of E(σ,n).
+func HeteroExecTime(costs []NodeCost, sigma float64) (float64, error) {
+	return dlt.HeteroExecTime(costs, sigma)
+}
+
 // Task is a real-time arbitrarily divisible task T = (A, σ, D).
 type Task = rt.Task
 
@@ -86,9 +119,13 @@ func RunSeries(cfg Config, loads []float64) ([]*Result, error) {
 // per-node release times and accounting).
 type Cluster = cluster.Cluster
 
-// NewCluster returns a cluster of n processing nodes, all available at
-// time 0.
+// NewCluster returns a homogeneous cluster of n processing nodes, all
+// available at time 0.
 func NewCluster(n int, p Params) (*Cluster, error) { return cluster.New(n, p) }
+
+// NewHeteroCluster returns a cluster whose node i has its own cost
+// coefficients costs[i], all available at time 0.
+func NewHeteroCluster(costs []NodeCost) (*Cluster, error) { return cluster.NewHetero(costs) }
 
 // Scheduler implements the paper's Fig. 2 schedulability test with EDF or
 // FIFO ordering and a pluggable partitioner.
@@ -118,6 +155,13 @@ type Model = core.Model
 // size over processors with the given available times.
 func NewModel(p Params, sigma float64, avail []float64) (*Model, error) {
 	return core.New(p, sigma, avail)
+}
+
+// NewHeteroModel constructs the availability-transformation model over an
+// already-heterogeneous node set: costs[i] are node i's own coefficients
+// and avail[i] its available time (the slices are sorted together).
+func NewHeteroModel(costs []NodeCost, sigma float64, avail []float64) (*Model, error) {
+	return core.NewHetero(costs, sigma, avail)
 }
 
 // MinNodesBound returns ñ_min = ⌈ln γ / ln β⌉, the paper's upper bound on
@@ -165,6 +209,12 @@ func SimulateDispatch(p Params, sigma float64, avail, alphas []float64) (*Dispat
 	return dlt.SimulateDispatch(p, sigma, avail, alphas)
 }
 
+// SimulateDispatchHetero is SimulateDispatch with per-node cost
+// coefficients (costs, avail and alphas parallel, in dispatch order).
+func SimulateDispatchHetero(costs []NodeCost, sigma float64, avail, alphas []float64) (*Dispatch, error) {
+	return dlt.SimulateDispatchHetero(costs, sigma, avail, alphas)
+}
+
 // OutputDispatch extends Dispatch with result collection over the shared
 // link (the paper's Sec. 3 output-transfer extension).
 type OutputDispatch = dlt.OutputDispatch
@@ -180,8 +230,12 @@ func SimulateDispatchWithOutput(p Params, sigma, delta float64, avail, alphas []
 // Config.Observer or Scheduler.SetObserver and inspect OK()/Report().
 type Verifier = verify.Checker
 
-// NewVerifier returns a run verifier for a cluster of n nodes.
+// NewVerifier returns a run verifier for a homogeneous cluster of n nodes.
 func NewVerifier(p Params, n int) *Verifier { return verify.NewChecker(p, n) }
+
+// NewVerifierCosts returns a run verifier that re-checks dispatches
+// against a per-node cost model.
+func NewVerifierCosts(cm *CostModel) *Verifier { return verify.NewCheckerCosts(cm) }
 
 // MultiRoundSchedule exposes the multi-round dispatch timeline of the
 // paper's future-work extension for analysis.
