@@ -5,7 +5,7 @@ GO ?= go
 FUZZTIME ?= 10s
 FUZZ_PKGS := ./internal/core ./internal/dlt
 
-.PHONY: build test bench fmt fmt-check vet race fuzz-smoke ci
+.PHONY: build test bench bench-json fmt fmt-check vet race fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,13 @@ race:
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Mirrors the CI bench job: one sample per root-package benchmark
+# (figure regenerations + BenchmarkServiceSubmit*) as a test2json stream.
+# Redirect instead of tee so a benchmark failure fails the target (make's
+# /bin/sh has no pipefail).
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -json . > BENCH_service.json
 
 fmt:
 	gofmt -w .

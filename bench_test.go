@@ -8,10 +8,13 @@
 package rtdls_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"testing"
 
+	"rtdls"
 	"rtdls/internal/experiments"
 )
 
@@ -166,6 +169,73 @@ func BenchmarkAgg330_WinRate(b *testing.B) {
 // BenchmarkExtraN_ClusterSize covers the paper's unshown N sweep ("results
 // are similar"): N ∈ {8, 32, 64}.
 func BenchmarkExtraN_ClusterSize(b *testing.B) { runPanels(b, "xNa", "xNb", "xNc") }
+
+// --- Service hot path ---------------------------------------------------
+
+// BenchmarkServiceSubmit measures the admission-control hot path of the
+// long-lived service: one Submit — auto-commit of due transmissions plus
+// the full Fig. 2 schedulability test — at ≈100% offered load, so the
+// waiting queue stays realistically busy and both accept and reject paths
+// are exercised.
+func BenchmarkServiceSubmit(b *testing.B) {
+	clock := rtdls.NewManualClock(0)
+	svc, err := rtdls.New(rtdls.WithClock(clock))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+	accepts := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clock.Advance(2600) // ≈ E(200,16): one mean task per mean service time
+		dec, err := svc.Submit(ctx, rtdls.Task{
+			ID:          int64(i + 1),
+			Sigma:       150 + float64(i%8)*12.5,
+			RelDeadline: 5200,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if dec.Accepted {
+			accepts++
+		}
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(accepts)/float64(b.N), "accept_ratio")
+	}
+}
+
+// BenchmarkServiceSubmitParallel drives the same service from GOMAXPROCS
+// goroutines, measuring contention on the single admission lock.
+func BenchmarkServiceSubmitParallel(b *testing.B) {
+	clock := rtdls.NewManualClock(0)
+	svc, err := rtdls.New(rtdls.WithClock(clock))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	var id atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		ctx := context.Background()
+		for pb.Next() {
+			n := id.Add(1)
+			clock.Advance(2600)
+			if _, err := svc.Submit(ctx, rtdls.Task{
+				ID:          n,
+				Sigma:       150 + float64(n%8)*12.5,
+				RelDeadline: 5200,
+			}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
 
 // --- Ablations (design choices called out in DESIGN.md §4) -------------
 

@@ -52,31 +52,39 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := rtdls.Config{
-		N: *n, Cms: *cms, Cps: *cps,
-		Policy: *policy, Algorithm: *alg,
-		SystemLoad: *load, AvgSigma: *avgSigma, DCRatio: *dcRatio,
-		Horizon: *horizon, Seed: *seed, Rounds: *rounds,
-		CmsSpread: *cmsSpread, CpsSpread: *cpsSpread, HeteroSeed: *hetSeed,
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "dlsim:", err)
+		os.Exit(1)
+	}
+
+	pol, err := rtdls.ParsePolicy(*policy)
+	if err != nil {
+		fail(err)
+	}
+	opts := []rtdls.Option{
+		rtdls.WithNodes(*n),
+		rtdls.WithParams(rtdls.Params{Cms: *cms, Cps: *cps}),
+		rtdls.WithPolicy(pol),
+		rtdls.WithAlgorithm(*alg),
+		rtdls.WithRounds(*rounds),
+		rtdls.WithCostSpread(*cmsSpread, *cpsSpread, *hetSeed),
 	}
 	if *nodeCosts != "" {
 		costs, err := parseNodeCosts(*nodeCosts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dlsim:", err)
-			os.Exit(1)
+			fail(err)
 		}
-		cfg.NodeCosts = costs
+		opts = append(opts, rtdls.WithNodeCosts(costs))
 	}
-	costModel, err := cfg.CostModel()
+	costModel, err := rtdls.CostModelFor(opts...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dlsim:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	var (
 		ring     *rtdls.TraceRing
 		verifier *rtdls.Verifier
 		timeline *rtdls.GanttCollector
-		obs      multiObserver
+		obs      []rtdls.Observer
 	)
 	if *traceN > 0 {
 		ring = rtdls.NewTraceRing(*traceN)
@@ -91,13 +99,15 @@ func main() {
 		obs = append(obs, timeline)
 	}
 	if len(obs) > 0 {
-		cfg.Observer = obs
+		opts = append(opts, rtdls.WithObserver(rtdls.CombineObservers(obs...)))
 	}
 
-	res, err := rtdls.Run(cfg)
+	res, err := rtdls.Simulate(rtdls.Workload{
+		SystemLoad: *load, AvgSigma: *avgSigma, DCRatio: *dcRatio,
+		Horizon: *horizon, Seed: *seed,
+	}, opts...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dlsim:", err)
-		os.Exit(1)
+		fail(err)
 	}
 
 	if *asJSON {
@@ -105,8 +115,7 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(res); err != nil {
-			fmt.Fprintln(os.Stderr, "dlsim:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		return
 	}
@@ -172,29 +181,4 @@ func parseNodeCosts(s string) ([]rtdls.NodeCost, error) {
 		out = append(out, rtdls.NodeCost{Cms: cms, Cps: cps})
 	}
 	return out, nil
-}
-
-// multiObserver fans lifecycle callbacks out to several observers.
-type multiObserver []interface {
-	OnAccept(now float64, t *rtdls.Task, p *rtdls.Plan)
-	OnReject(now float64, t *rtdls.Task)
-	OnCommit(now float64, p *rtdls.Plan)
-}
-
-func (m multiObserver) OnAccept(now float64, t *rtdls.Task, p *rtdls.Plan) {
-	for _, o := range m {
-		o.OnAccept(now, t, p)
-	}
-}
-
-func (m multiObserver) OnReject(now float64, t *rtdls.Task) {
-	for _, o := range m {
-		o.OnReject(now, t)
-	}
-}
-
-func (m multiObserver) OnCommit(now float64, p *rtdls.Plan) {
-	for _, o := range m {
-		o.OnCommit(now, p)
-	}
 }

@@ -42,6 +42,11 @@ func main() {
 	)
 	flag.Parse()
 
+	pol, err := rtdls.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
 	algs := strings.Split(*algsFlag, ",")
 	vals := strings.Split(*values, ",")
 
@@ -59,21 +64,28 @@ func main() {
 		}
 		fmt.Printf("%-10g", v)
 		for _, a := range algs {
-			cfg := rtdls.Config{
-				N: *n, Cms: *cms, Cps: *cps,
-				Policy: *policy, Algorithm: strings.TrimSpace(a),
-				SystemLoad: *load, AvgSigma: *avgSigma, DCRatio: *dcRatio,
-				Horizon: *horizon, Rounds: 2,
-				CmsSpread: *cmsSpread, CpsSpread: *cpsSpread, HeteroSeed: *hetSeed,
+			p := point{
+				n: *n, cms: *cms, cps: *cps, rounds: 2,
+				cmsSpread: *cmsSpread, cpsSpread: *cpsSpread,
+				load: *load, avgSigma: *avgSigma, dcRatio: *dcRatio,
 			}
-			if err := apply(&cfg, *param, v); err != nil {
+			if err := apply(&p, *param, v); err != nil {
 				fmt.Fprintln(os.Stderr, "sweep:", err)
 				os.Exit(1)
 			}
 			sum := 0.0
 			for run := 0; run < *runs; run++ {
-				cfg.Seed = uint64(1000*run) + 17
-				res, err := rtdls.Run(cfg)
+				res, err := rtdls.Simulate(rtdls.Workload{
+					SystemLoad: p.load, AvgSigma: p.avgSigma, DCRatio: p.dcRatio,
+					Horizon: *horizon, Seed: uint64(1000*run) + 17,
+				},
+					rtdls.WithNodes(p.n),
+					rtdls.WithParams(rtdls.Params{Cms: p.cms, Cps: p.cps}),
+					rtdls.WithPolicy(pol),
+					rtdls.WithAlgorithm(strings.TrimSpace(a)),
+					rtdls.WithRounds(p.rounds),
+					rtdls.WithCostSpread(p.cmsSpread, p.cpsSpread, *hetSeed),
+				)
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "sweep:", err)
 					os.Exit(1)
@@ -86,26 +98,36 @@ func main() {
 	}
 }
 
-func apply(cfg *rtdls.Config, param string, v float64) error {
+// point is one sweep cell's cluster and workload parameters.
+type point struct {
+	n                    int
+	cms, cps             float64
+	rounds               int
+	cmsSpread, cpsSpread float64
+	load                 float64
+	avgSigma, dcRatio    float64
+}
+
+func apply(p *point, param string, v float64) error {
 	switch param {
 	case "load":
-		cfg.SystemLoad = v
+		p.load = v
 	case "n":
-		cfg.N = int(v)
+		p.n = int(v)
 	case "cms":
-		cfg.Cms = v
+		p.cms = v
 	case "cps":
-		cfg.Cps = v
+		p.cps = v
 	case "avgsigma":
-		cfg.AvgSigma = v
+		p.avgSigma = v
 	case "dcratio":
-		cfg.DCRatio = v
+		p.dcRatio = v
 	case "rounds":
-		cfg.Rounds = int(v)
+		p.rounds = int(v)
 	case "cmsspread":
-		cfg.CmsSpread = v
+		p.cmsSpread = v
 	case "cpsspread":
-		cfg.CpsSpread = v
+		p.cpsSpread = v
 	default:
 		return fmt.Errorf("unknown parameter %q", param)
 	}

@@ -17,29 +17,51 @@
 // yet all finish (nearly) together, and proves the resulting completion
 // estimate safe for hard real-time admission control.
 //
-// The package offers three levels of API:
+// The paper's test is online — tasks arrive one at a time and are admitted
+// or rejected against the current processor available times — and since
+// 2.0 the API is organised around exactly that surface. The package offers
+// three levels:
 //
-//   - Run / Config: one-call discrete-event simulation of a cluster under a
-//     synthetic workload, returning admission and execution metrics.
-//   - Scheduler / Cluster / Task: the event-driven scheduling framework for
-//     embedding in other simulators or systems (EDF/FIFO × DLT-IIT /
-//     OPR-MN / OPR-AN / User-Split / multi-round partitioners).
+//   - Service: the long-lived, goroutine-safe admission-control service.
+//     Build one with New and functional options, submit tasks from any
+//     goroutine with Submit/SubmitBatch, follow decisions on the Subscribe
+//     event stream or the Stats snapshot, and swap the Clock to run the
+//     identical engine under simulated or wall-clock time:
+//
+//     svc, err := rtdls.New(
+//     rtdls.WithNodes(16),
+//     rtdls.WithParams(rtdls.Params{Cms: 1, Cps: 100}),
+//     rtdls.WithPolicy(rtdls.EDF),
+//     rtdls.WithAlgorithm(rtdls.AlgDLTIIT),
+//     )
+//     dec, err := svc.Submit(ctx, rtdls.Task{ID: 1, Sigma: 200, RelDeadline: 2800})
+//
+//     Failures are typed: errors.Is against ErrInfeasible, ErrDeadlinePast,
+//     ErrClusterBusy and ErrBadConfig distinguishes clean rejections from
+//     bad input at every layer.
+//
+//   - Simulate / Workload: one-call discrete-event replay of a synthetic
+//     workload through the same service engine, returning admission and
+//     execution metrics (the deprecated 1.x Run/Config shims delegate here
+//     and reproduce pre-2.0 results bit for bit).
+//
 //   - Model: the heterogeneous-model mathematics itself (Eqs. 1–7 of the
 //     paper) for analysis work.
 //
 // Beyond the paper, the whole stack is generalised from one shared
-// (Cms, Cps) cost pair to per-node coefficients: build clusters with
-// NewHeteroCluster (or set Config.NodeCosts / Config.CmsSpread /
-// Config.CpsSpread), partition mixed-speed node sets with NewHeteroModel,
-// and note that a uniform cost table reproduces the homogeneous scheduler
-// bit for bit. Heterogeneous plans are admitted against exactly simulated
-// dispatch timelines, preserving the hard real-time guarantee without the
-// paper's common-Cms assumption.
+// (Cms, Cps) cost pair to per-node coefficients: pass WithNodeCosts or
+// WithCostSpread (or build clusters with NewHeteroCluster), partition
+// mixed-speed node sets with NewHeteroModel, and note that a uniform cost
+// table reproduces the homogeneous scheduler bit for bit. Heterogeneous
+// plans are admitted against exactly simulated dispatch timelines,
+// preserving the hard real-time guarantee without the paper's common-Cms
+// assumption.
 //
 // Build and test with the standard toolchain — go build ./... and
 // go test ./... — or via the Makefile (make ci mirrors the CI pipeline:
 // build, gofmt gate, vet, race tests, benchmark compile check and a fuzz
-// smoke pass).
+// smoke pass; make bench-json emits the BENCH_service.json perf sample the
+// CI bench job uploads).
 //
 // The experiment harness that regenerates every figure of the paper, plus
 // the xHET* heterogeneity panels, lives in cmd/figures; see DESIGN.md and

@@ -1,0 +1,35 @@
+package rtdls
+
+import "rtdls/internal/errs"
+
+// Typed sentinel errors shared by every layer of the stack. All failures
+// returned from this package wrap one of them, so callers distinguish the
+// failure classes with errors.Is instead of matching message text:
+//
+//	dec, err := svc.Submit(ctx, task)
+//	switch {
+//	case errors.Is(err, rtdls.ErrBadConfig):   // malformed task or options
+//	case errors.Is(dec.Reason, rtdls.ErrInfeasible):   // clean rejection
+//	case errors.Is(dec.Reason, rtdls.ErrDeadlinePast): // submitted too late
+//	case errors.Is(dec.Reason, rtdls.ErrClusterBusy):  // queue bound hit
+//	}
+var (
+	// ErrInfeasible marks a clean admission rejection: no node assignment
+	// can meet the task's deadline against the current cluster state (the
+	// paper's footnote 1 — in a deployment it triggers deadline
+	// renegotiation; see examples/admission).
+	ErrInfeasible = errs.ErrInfeasible
+
+	// ErrDeadlinePast marks a task whose absolute deadline had already
+	// passed at submission; the schedulability test is not run.
+	ErrDeadlinePast = errs.ErrDeadlinePast
+
+	// ErrClusterBusy marks a submission the service could not consider:
+	// the waiting queue is at its WithMaxQueue bound, or the service has
+	// been closed.
+	ErrClusterBusy = errs.ErrClusterBusy
+
+	// ErrBadConfig marks invalid input: malformed tasks, cost tables,
+	// workloads or options.
+	ErrBadConfig = errs.ErrBadConfig
+)

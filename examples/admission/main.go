@@ -3,13 +3,16 @@
 // negotiates a feasible deadline with the client and the job is rescheduled
 // with modified parameters.
 //
-// The example drives the EDF-DLT scheduler directly with a random stream of
-// tasks; whenever admission fails, the client retries with a 1.5× looser
-// deadline, up to three attempts, emulating a multi-tiered QoS agreement
-// ("pay" per response time, as at the UNL Research Computing Facility).
+// The example drives the admission service directly with a random stream of
+// tasks; whenever admission fails with ErrInfeasible, the client retries
+// with a 1.5× looser deadline, up to three attempts, emulating a
+// multi-tiered QoS agreement ("pay" per response time, as at the UNL
+// Research Computing Facility). A subscriber on the service's event stream
+// tallies the lifecycle independently of the submission loop.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -19,15 +22,36 @@ import (
 
 func main() {
 	params := rtdls.Params{Cms: 1, Cps: 100}
-	cl, err := rtdls.NewCluster(16, params)
-	if err != nil {
-		log.Fatal(err)
-	}
-	sched, err := rtdls.NewScheduler(cl, rtdls.EDF, rtdls.AlgDLTIIT)
+	svc, err := rtdls.New(
+		rtdls.WithNodes(16),
+		rtdls.WithParams(params),
+		rtdls.WithPolicy(rtdls.EDF),
+		rtdls.WithAlgorithm(rtdls.AlgDLTIIT),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	// Stream consumer: counts lifecycle events concurrently with the
+	// submissions (the ad-hoc Observer wiring of v1 is gone).
+	events, cancel := svc.Subscribe(1 << 14)
+	counted := make(chan [3]int, 1)
+	go func() {
+		var n [3]int
+		for ev := range events {
+			switch ev.Kind {
+			case rtdls.EventAccept:
+				n[0]++
+			case rtdls.EventReject:
+				n[1]++
+			case rtdls.EventCommit:
+				n[2]++
+			}
+		}
+		counted <- n
+	}()
+
+	ctx := context.Background()
 	rng := rand.New(rand.NewPCG(7, 2026))
 	avgExec := params.ExecTime(200, 16)
 
@@ -54,12 +78,11 @@ func main() {
 		accepted := false
 		for attempt := 0; attempt < 3; attempt++ {
 			id++
-			task := &rtdls.Task{ID: id, Arrival: now, Sigma: sigma, RelDeadline: deadline}
-			ok, err := sched.Submit(task, now)
+			dec, err := svc.Submit(ctx, rtdls.Task{ID: id, Arrival: now, Sigma: sigma, RelDeadline: deadline})
 			if err != nil {
 				log.Fatal(err)
 			}
-			if ok {
+			if dec.Accepted {
 				if attempt == 0 {
 					firstTry++
 				} else {
@@ -74,10 +97,14 @@ func main() {
 		if !accepted {
 			lost++
 		}
-		if _, err := sched.CommitDue(now); err != nil {
-			log.Fatal(err)
-		}
 	}
+	if err := svc.Drain(); err != nil {
+		log.Fatal(err)
+	}
+	st := svc.Stats()
+	svc.Close() // closes the event stream; the counter goroutine finishes
+	cancel()
+	n := <-counted
 
 	fmt.Println("Deadline renegotiation under EDF-DLT (16 nodes, ~90% load, 2000 clients)")
 	fmt.Println()
@@ -88,6 +115,11 @@ func main() {
 		fmt.Printf("  mean deadline concession  %.1f time units per renegotiated task\n",
 			extraDelay/float64(renegotiated))
 	}
+	fmt.Println()
+	fmt.Printf("event stream saw %d accepts, %d rejects, %d commits (%d dropped);\n",
+		n[0], n[1], n[2], st.EventsDropped)
+	fmt.Printf("service counters: %d arrivals, %d accepts, %d rejects, utilization %.3f\n",
+		st.Arrivals, st.Accepts, st.Rejects, st.Utilization)
 	fmt.Println()
 	fmt.Println("Each accepted task still carries a hard guarantee for its (possibly")
 	fmt.Println("renegotiated) deadline — the schedulability test re-verified the whole")

@@ -19,9 +19,7 @@ import (
 func main() {
 	// A CMS-like configuration: larger cluster, data-heavy tasks (shipping
 	// an event file is cheap relative to reconstructing it).
-	base := rtdls.Config{
-		N: 32, Cms: 1, Cps: 250,
-		Policy:     "edf",
+	w := rtdls.Workload{
 		SystemLoad: 0.8,
 		AvgSigma:   500, // large input datasets
 		DCRatio:    2,   // response-time guarantee ≈ 2× best-case runtime
@@ -45,10 +43,16 @@ func main() {
 		{"EDF-DLT (paper)", rtdls.AlgDLTIIT, 0},
 		{"EDF-DLT-MR4 (ext.)", rtdls.AlgDLTMR, 4},
 	} {
-		cfg := base
-		cfg.Algorithm = r.alg
-		cfg.Rounds = r.rnds
-		res, err := rtdls.Run(cfg)
+		opts := []rtdls.Option{
+			rtdls.WithNodes(32),
+			rtdls.WithParams(rtdls.Params{Cms: 1, Cps: 250}),
+			rtdls.WithPolicy(rtdls.EDF),
+			rtdls.WithAlgorithm(r.alg),
+		}
+		if r.rnds > 0 {
+			opts = append(opts, rtdls.WithRounds(r.rnds))
+		}
+		res, err := rtdls.Simulate(w, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}

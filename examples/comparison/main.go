@@ -44,13 +44,23 @@ func main() {
 			sum := 0.0
 			const runs = 3
 			for seed := uint64(1); seed <= runs; seed++ {
-				cfg := rtdls.Config{
-					N: 16, Cms: 1, Cps: 100,
-					Policy: a.pol, Algorithm: a.alg, Rounds: a.rnds,
+				pol, err := rtdls.ParsePolicy(a.pol)
+				if err != nil {
+					log.Fatal(err)
+				}
+				opts := []rtdls.Option{
+					rtdls.WithNodes(16),
+					rtdls.WithParams(rtdls.Params{Cms: 1, Cps: 100}),
+					rtdls.WithPolicy(pol),
+					rtdls.WithAlgorithm(a.alg),
+				}
+				if a.rnds > 0 {
+					opts = append(opts, rtdls.WithRounds(a.rnds))
+				}
+				res, err := rtdls.Simulate(rtdls.Workload{
 					SystemLoad: load, AvgSigma: 200, DCRatio: 2,
 					Horizon: 1e6, Seed: seed,
-				}
-				res, err := rtdls.Run(cfg)
+				}, opts...)
 				if err != nil {
 					log.Fatal(err)
 				}

@@ -20,17 +20,19 @@ func main() {
 
 	run := func(alg string) (*rtdls.GanttCollector, *rtdls.Result) {
 		timeline := rtdls.NewGanttCollector(nodes)
-		cfg := rtdls.Config{
-			N: nodes, Cms: params.Cms, Cps: params.Cps,
-			Policy: "edf", Algorithm: alg,
-			// Overload with loose deadlines: tasks of mixed sizes overlap,
-			// so arriving tasks routinely wait for part of their node set —
-			// the regime where inserted idle times appear.
+		// Overload with loose deadlines: tasks of mixed sizes overlap, so
+		// arriving tasks routinely wait for part of their node set — the
+		// regime where inserted idle times appear.
+		res, err := rtdls.Simulate(rtdls.Workload{
 			SystemLoad: 1.2, AvgSigma: 100, DCRatio: 4,
 			Horizon: horizon, Seed: 12,
-			Observer: timeline,
-		}
-		res, err := rtdls.Run(cfg)
+		},
+			rtdls.WithNodes(nodes),
+			rtdls.WithParams(params),
+			rtdls.WithPolicy(rtdls.EDF),
+			rtdls.WithAlgorithm(alg),
+			rtdls.WithObserver(timeline),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}

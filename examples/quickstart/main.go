@@ -1,10 +1,13 @@
-// Quickstart: build a cluster, admit a few divisible real-time tasks
-// through the paper's IIT-utilising EDF-DLT scheduler, and watch the
-// heterogeneous-model machinery at work — including the Theorem-4 gap
-// between the admission estimate and the actual completion.
+// Quickstart: spin up the admission-control service, submit a few
+// divisible real-time tasks through the paper's IIT-utilising EDF-DLT
+// schedulability test, and watch the heterogeneous-model machinery at work
+// — including the Theorem-4 gap between the admission estimate and the
+// actual completion.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -13,17 +16,21 @@ import (
 
 func main() {
 	params := rtdls.Params{Cms: 1, Cps: 100} // 1 time unit to ship, 100 to process, per load unit
-	cl, err := rtdls.NewCluster(16, params)
+	svc, err := rtdls.New(
+		rtdls.WithNodes(16),
+		rtdls.WithParams(params),
+		rtdls.WithPolicy(rtdls.EDF),
+		rtdls.WithAlgorithm(rtdls.AlgDLTIIT),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sched, err := rtdls.NewScheduler(cl, rtdls.EDF, rtdls.AlgDLTIIT)
-	if err != nil {
-		log.Fatal(err)
-	}
+	defer svc.Close()
 
 	// A small burst of tasks: (arrival, data size, relative deadline).
-	tasks := []*rtdls.Task{
+	// Each Submit commits due transmissions, replans the waiting queue and
+	// answers with a typed decision; tasks may come from any goroutine.
+	tasks := []rtdls.Task{
 		{ID: 1, Arrival: 0, Sigma: 200, RelDeadline: 2800},
 		{ID: 2, Arrival: 100, Sigma: 150, RelDeadline: 3500},
 		{ID: 3, Arrival: 150, Sigma: 300, RelDeadline: 2500}, // tight: will it fit?
@@ -31,29 +38,32 @@ func main() {
 		{ID: 5, Arrival: 250, Sigma: 400, RelDeadline: 3000}, // tighter still
 	}
 
+	ctx := context.Background()
 	fmt.Println("EDF-DLT admission control on a 16-node cluster (Cms=1, Cps=100)")
 	fmt.Println()
 	for _, task := range tasks {
-		accepted, err := sched.Submit(task, task.Arrival)
+		dec, err := svc.Submit(ctx, task)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if !accepted {
-			fmt.Printf("task %d  σ=%-4.0f absD=%-7.0f REJECTED (no partition meets the deadline)\n",
-				task.ID, task.Sigma, task.AbsDeadline())
+		if !dec.Accepted {
+			why := "no partition meets the deadline"
+			if errors.Is(dec.Reason, rtdls.ErrDeadlinePast) {
+				why = "deadline already past"
+			}
+			fmt.Printf("task %d  σ=%-4.0f absD=%-7.0f REJECTED (%s)\n",
+				task.ID, task.Sigma, task.AbsDeadline(), why)
 			continue
 		}
-		pl := sched.PlanFor(task.ID)
 		fmt.Printf("task %d  σ=%-4.0f absD=%-7.0f accepted: %d nodes, est. completion %.1f\n",
-			task.ID, task.Sigma, task.AbsDeadline(), len(pl.Nodes), pl.Est)
-		fmt.Printf("         starts %v\n", round1(pl.Starts))
-		fmt.Printf("         alphas %v\n", round3(pl.Alphas))
-
-		// Start everything that is due before the next arrival.
-		if _, err := sched.CommitDue(task.Arrival); err != nil {
-			log.Fatal(err)
-		}
+			task.ID, task.Sigma, task.AbsDeadline(), len(dec.Nodes), dec.Est)
+		fmt.Printf("         starts %v\n", round1(dec.Starts))
+		fmt.Printf("         alphas %v\n", round3(dec.Alphas))
 	}
+
+	st := svc.Stats()
+	fmt.Printf("\nservice stats: %d arrivals, %d accepted, %d rejected, queue depth %d\n",
+		st.Arrivals, st.Accepts, st.Rejects, st.QueueLen)
 
 	// Theorem 4 in action: rebuild the model for a staggered availability
 	// vector and compare estimate vs exact dispatch.

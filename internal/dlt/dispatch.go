@@ -3,6 +3,8 @@ package dlt
 import (
 	"fmt"
 	"math"
+
+	"rtdls/internal/errs"
 )
 
 // Dispatch records the exact timeline of a single-round sequential dispatch
@@ -38,18 +40,18 @@ func SimulateDispatch(p Params, sigma float64, avail, alphas []float64) (*Dispat
 	}
 	n := len(avail)
 	if n == 0 {
-		return nil, fmt.Errorf("dlt: SimulateDispatch needs at least one node")
+		return nil, fmt.Errorf("dlt: SimulateDispatch needs at least one node: %w", errs.ErrBadConfig)
 	}
 	if len(alphas) != n {
-		return nil, fmt.Errorf("dlt: SimulateDispatch: %d avail times but %d alphas", n, len(alphas))
+		return nil, fmt.Errorf("dlt: SimulateDispatch: %d avail times but %d alphas: %w", n, len(alphas), errs.ErrBadConfig)
 	}
 	if sigma < 0 || math.IsNaN(sigma) || math.IsInf(sigma, 0) {
-		return nil, fmt.Errorf("dlt: SimulateDispatch: invalid sigma %v", sigma)
+		return nil, fmt.Errorf("dlt: SimulateDispatch: invalid sigma %v: %w", sigma, errs.ErrBadConfig)
 	}
 	for i := 1; i < n; i++ {
 		if avail[i] < avail[i-1] {
-			return nil, fmt.Errorf("dlt: SimulateDispatch: avail times not sorted (avail[%d]=%v < avail[%d]=%v)",
-				i, avail[i], i-1, avail[i-1])
+			return nil, fmt.Errorf("dlt: SimulateDispatch: avail times not sorted (avail[%d]=%v < avail[%d]=%v): %w",
+				i, avail[i], i-1, avail[i-1], errs.ErrBadConfig)
 		}
 	}
 	d := &Dispatch{
@@ -61,7 +63,7 @@ func SimulateDispatch(p Params, sigma float64, avail, alphas []float64) (*Dispat
 	linkFree := math.Inf(-1)
 	for i := 0; i < n; i++ {
 		if alphas[i] < 0 {
-			return nil, fmt.Errorf("dlt: SimulateDispatch: negative alpha[%d]=%v", i, alphas[i])
+			return nil, fmt.Errorf("dlt: SimulateDispatch: negative alpha[%d]=%v: %w", i, alphas[i], errs.ErrBadConfig)
 		}
 		b := math.Max(avail[i], linkFree)
 		send := alphas[i] * sigma * p.Cms

@@ -20,6 +20,8 @@ package dlt
 import (
 	"fmt"
 	"math"
+
+	"rtdls/internal/errs"
 )
 
 // Params holds the linear cost coefficients of the cluster.
@@ -35,10 +37,10 @@ type Params struct {
 // Validate reports whether the parameters describe a usable cluster.
 func (p Params) Validate() error {
 	if !(p.Cms > 0) || math.IsInf(p.Cms, 0) {
-		return fmt.Errorf("dlt: Cms must be positive and finite, got %v", p.Cms)
+		return fmt.Errorf("dlt: Cms must be positive and finite, got %v: %w", p.Cms, errs.ErrBadConfig)
 	}
 	if !(p.Cps > 0) || math.IsInf(p.Cps, 0) {
-		return fmt.Errorf("dlt: Cps must be positive and finite, got %v", p.Cps)
+		return fmt.Errorf("dlt: Cps must be positive and finite, got %v: %w", p.Cps, errs.ErrBadConfig)
 	}
 	return nil
 }

@@ -3,6 +3,8 @@ package dlt
 import (
 	"fmt"
 	"math"
+
+	"rtdls/internal/errs"
 )
 
 // This file generalises the linear cost model from one scalar (Cms, Cps)
@@ -30,10 +32,10 @@ type NodeCost struct {
 // Validate reports whether the coefficients describe a usable node.
 func (c NodeCost) Validate() error {
 	if !(c.Cms >= 0) || math.IsInf(c.Cms, 0) {
-		return fmt.Errorf("dlt: node Cms must be non-negative and finite, got %v", c.Cms)
+		return fmt.Errorf("dlt: node Cms must be non-negative and finite, got %v: %w", c.Cms, errs.ErrBadConfig)
 	}
 	if !(c.Cps > 0) || math.IsInf(c.Cps, 0) {
-		return fmt.Errorf("dlt: node Cps must be positive and finite, got %v", c.Cps)
+		return fmt.Errorf("dlt: node Cps must be positive and finite, got %v: %w", c.Cps, errs.ErrBadConfig)
 	}
 	return nil
 }
@@ -56,7 +58,7 @@ type CostModel struct {
 // validate.
 func NewCostModel(costs []NodeCost) (*CostModel, error) {
 	if len(costs) == 0 {
-		return nil, fmt.Errorf("dlt: cost model needs at least one node")
+		return nil, fmt.Errorf("dlt: cost model needs at least one node: %w", errs.ErrBadConfig)
 	}
 	cp := make([]NodeCost, len(costs))
 	copy(cp, costs)
@@ -84,7 +86,7 @@ func UniformCosts(p Params, n int) (*CostModel, error) {
 		return nil, err
 	}
 	if n < 1 {
-		return nil, fmt.Errorf("dlt: cost model needs at least one node, got %d", n)
+		return nil, fmt.Errorf("dlt: cost model needs at least one node, got %d: %w", n, errs.ErrBadConfig)
 	}
 	costs := make([]NodeCost, n)
 	for i := range costs {
@@ -165,7 +167,7 @@ func (m *CostModel) Costs() []NodeCost {
 // validateCosts checks a dispatch-ordered coefficient slice.
 func validateCosts(costs []NodeCost) error {
 	if len(costs) == 0 {
-		return fmt.Errorf("dlt: need at least one node cost")
+		return fmt.Errorf("dlt: need at least one node cost: %w", errs.ErrBadConfig)
 	}
 	for i, c := range costs {
 		if err := c.Validate(); err != nil {
@@ -214,7 +216,7 @@ func HeteroAlphas(costs []NodeCost) ([]float64, error) {
 // which for uniform costs reduces to σ·Cms/(1−βⁿ).
 func HeteroExecTime(costs []NodeCost, sigma float64) (float64, error) {
 	if sigma < 0 || math.IsNaN(sigma) || math.IsInf(sigma, 0) {
-		return 0, fmt.Errorf("dlt: HeteroExecTime needs sigma >= 0, got %v", sigma)
+		return 0, fmt.Errorf("dlt: HeteroExecTime needs sigma >= 0, got %v: %w", sigma, errs.ErrBadConfig)
 	}
 	alphas, err := HeteroAlphas(costs)
 	if err != nil {
@@ -258,16 +260,16 @@ func SimulateDispatchHetero(costs []NodeCost, sigma float64, avail, alphas []flo
 	}
 	n := len(costs)
 	if len(avail) != n || len(alphas) != n {
-		return nil, fmt.Errorf("dlt: SimulateDispatchHetero: %d costs, %d avail times, %d alphas",
-			n, len(avail), len(alphas))
+		return nil, fmt.Errorf("dlt: SimulateDispatchHetero: %d costs, %d avail times, %d alphas: %w",
+			n, len(avail), len(alphas), errs.ErrBadConfig)
 	}
 	if sigma < 0 || math.IsNaN(sigma) || math.IsInf(sigma, 0) {
-		return nil, fmt.Errorf("dlt: SimulateDispatchHetero: invalid sigma %v", sigma)
+		return nil, fmt.Errorf("dlt: SimulateDispatchHetero: invalid sigma %v: %w", sigma, errs.ErrBadConfig)
 	}
 	for i := 1; i < n; i++ {
 		if avail[i] < avail[i-1] {
-			return nil, fmt.Errorf("dlt: SimulateDispatchHetero: avail times not sorted (avail[%d]=%v < avail[%d]=%v)",
-				i, avail[i], i-1, avail[i-1])
+			return nil, fmt.Errorf("dlt: SimulateDispatchHetero: avail times not sorted (avail[%d]=%v < avail[%d]=%v): %w",
+				i, avail[i], i-1, avail[i-1], errs.ErrBadConfig)
 		}
 	}
 	d := &Dispatch{
@@ -279,7 +281,7 @@ func SimulateDispatchHetero(costs []NodeCost, sigma float64, avail, alphas []flo
 	linkFree := math.Inf(-1)
 	for i := 0; i < n; i++ {
 		if alphas[i] < 0 {
-			return nil, fmt.Errorf("dlt: SimulateDispatchHetero: negative alpha[%d]=%v", i, alphas[i])
+			return nil, fmt.Errorf("dlt: SimulateDispatchHetero: negative alpha[%d]=%v: %w", i, alphas[i], errs.ErrBadConfig)
 		}
 		b := math.Max(avail[i], linkFree)
 		send := alphas[i] * sigma * costs[i].Cms

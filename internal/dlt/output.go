@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"rtdls/internal/errs"
 )
 
 // The paper's system model ships only input data, because its target
@@ -36,7 +38,7 @@ type OutputDispatch struct {
 // With delta = 0 the timeline reduces exactly to SimulateDispatch.
 func SimulateDispatchWithOutput(p Params, sigma, delta float64, avail, alphas []float64) (*OutputDispatch, error) {
 	if delta < 0 || math.IsNaN(delta) || math.IsInf(delta, 0) {
-		return nil, fmt.Errorf("dlt: output ratio delta must be finite and >= 0, got %v", delta)
+		return nil, fmt.Errorf("dlt: output ratio delta must be finite and >= 0, got %v: %w", delta, errs.ErrBadConfig)
 	}
 	d, err := SimulateDispatch(p, sigma, avail, alphas)
 	if err != nil {

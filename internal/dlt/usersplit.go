@@ -3,6 +3,8 @@ package dlt
 import (
 	"fmt"
 	"math"
+
+	"rtdls/internal/errs"
 )
 
 // UserSplitDispatch computes the exact completion timeline of the
@@ -17,7 +19,7 @@ import (
 // exactly (the send start sᵢ here is Dispatch.SendStart[i]).
 func UserSplitDispatch(p Params, sigma float64, avail []float64) (*Dispatch, error) {
 	if len(avail) == 0 {
-		return nil, fmt.Errorf("dlt: UserSplitDispatch needs at least one node")
+		return nil, fmt.Errorf("dlt: UserSplitDispatch needs at least one node: %w", errs.ErrBadConfig)
 	}
 	return SimulateDispatch(p, sigma, avail, EqualAlphas(len(avail)))
 }

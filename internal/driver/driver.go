@@ -1,18 +1,25 @@
-// Package driver binds the substrates into one end-to-end simulation run:
-// a workload generator feeds arrivals through the schedulability test of an
-// rt.Scheduler over a cluster, driven by the discrete-event engine, and the
-// run's admission and execution metrics are collected into a Result.
+// Package driver replays a synthetic workload through the admission
+// service: a workload generator feeds arrivals into a service.Service bound
+// to a SimClock, the discrete-event engine sequences arrivals and commit
+// instants, and the run's admission and execution metrics are collected
+// into a Result. Run is deliberately a thin adapter — the schedulability
+// test, commit processing and metric accumulation all live in the service,
+// so the simulated engine is the same one a deployment drives under
+// wall-clock time.
 package driver
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
 
 	"rtdls/internal/cluster"
 	"rtdls/internal/dlt"
+	"rtdls/internal/errs"
 	"rtdls/internal/multiround"
 	"rtdls/internal/rt"
+	"rtdls/internal/service"
 	"rtdls/internal/sim"
 	"rtdls/internal/workload"
 )
@@ -88,12 +95,12 @@ func (c Config) Params() dlt.Params { return dlt.Params{Cms: c.Cms, Cps: c.Cps} 
 func (c Config) CostModel() (*dlt.CostModel, error) {
 	for _, s := range []float64{c.CmsSpread, c.CpsSpread} {
 		if math.IsNaN(s) || math.IsInf(s, 0) || s < 0 {
-			return nil, fmt.Errorf("driver: invalid cost spread %v", s)
+			return nil, fmt.Errorf("driver: invalid cost spread %v: %w", s, errs.ErrBadConfig)
 		}
 	}
 	if len(c.NodeCosts) > 0 {
 		if len(c.NodeCosts) != c.N {
-			return nil, fmt.Errorf("driver: %d node costs for N=%d nodes", len(c.NodeCosts), c.N)
+			return nil, fmt.Errorf("driver: %d node costs for N=%d nodes: %w", len(c.NodeCosts), c.N, errs.ErrBadConfig)
 		}
 		return dlt.NewCostModel(c.NodeCosts)
 	}
@@ -115,14 +122,14 @@ func (c Config) CostModel() (*dlt.CostModel, error) {
 // same table.
 func SpreadCosts(n int, p dlt.Params, cmsSpread, cpsSpread float64, seed uint64) ([]dlt.NodeCost, error) {
 	if n < 1 {
-		return nil, fmt.Errorf("driver: SpreadCosts needs n >= 1, got %d", n)
+		return nil, fmt.Errorf("driver: SpreadCosts needs n >= 1, got %d: %w", n, errs.ErrBadConfig)
 	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	for _, s := range []float64{cmsSpread, cpsSpread} {
 		if math.IsNaN(s) || math.IsInf(s, 0) || s < 0 {
-			return nil, fmt.Errorf("driver: invalid spread %v", s)
+			return nil, fmt.Errorf("driver: invalid spread %v: %w", s, errs.ErrBadConfig)
 		}
 	}
 	rng := rand.New(rand.NewPCG(seed^0xa076_1d64_78bd_642f, seed+0xe703_7ed1_a0b4_28db))
@@ -162,7 +169,7 @@ func (c Config) NewPartitioner() (rt.Partitioner, error) {
 		}
 		return multiround.New(r)
 	default:
-		return nil, fmt.Errorf("driver: unknown algorithm %q (want one of %v)", c.Algorithm, Algorithms())
+		return nil, fmt.Errorf("driver: unknown algorithm %q (want one of %v): %w", c.Algorithm, Algorithms(), errs.ErrBadConfig)
 	}
 }
 
@@ -194,17 +201,41 @@ type Result struct {
 	Span             float64 // max(horizon, last committed release)
 }
 
-// Run executes one simulation and returns its metrics.
-func Run(cfg Config) (*Result, error) {
-	pol, err := rt.ParsePolicy(cfg.Policy)
+// PartitionerFor builds the partitioner named by algorithm through the
+// shared Config constructor path, with the cluster's cost model filled in
+// (node count, reference coefficients, per-node table). rounds applies to
+// AlgDLTMR (0 = the default of 2). Today's partitioners read per-node
+// costs at plan time via rt.PlanContext, so the table is carried here for
+// uniform validation and for any future construction-time use, not
+// because current construction depends on it. This is the single
+// constructor path shared by the service options and the legacy
+// NewScheduler facade.
+func PartitionerFor(algorithm string, rounds int, cm *dlt.CostModel) (rt.Partitioner, error) {
+	cfg := Config{Algorithm: algorithm, Rounds: rounds}
+	if cm != nil {
+		ref := cm.Reference()
+		cfg.N = cm.N()
+		cfg.Cms = ref.Cms
+		cfg.Cps = ref.Cps
+		cfg.NodeCosts = cm.Costs()
+	}
+	return cfg.NewPartitioner()
+}
+
+// NewService assembles the admission service a run executes against: the
+// resolved cost model's cluster, the parsed policy, the configured
+// partitioner, and the given clock. It is the shared construction path of
+// Run and of callers that want to drive the same engine themselves.
+func (c Config) NewService(clock service.Clock) (*service.Service, error) {
+	pol, err := rt.ParsePolicy(c.Policy)
 	if err != nil {
 		return nil, err
 	}
-	part, err := cfg.NewPartitioner()
+	part, err := c.NewPartitioner()
 	if err != nil {
 		return nil, err
 	}
-	cm, err := cfg.CostModel()
+	cm, err := c.CostModel()
 	if err != nil {
 		return nil, err
 	}
@@ -212,12 +243,34 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return service.New(service.Config{
+		Cluster:     cl,
+		Policy:      pol,
+		Partitioner: part,
+		Clock:       clock,
+		Observer:    c.Observer,
+	})
+}
+
+// Run executes one simulation and returns its metrics. It is a thin
+// adapter over the admission service: a SimClock binds the service to the
+// discrete-event engine, arrival events submit generated tasks, commit
+// events start due transmissions, and the Result is assembled from the
+// service's statistics.
+func Run(cfg Config) (*Result, error) {
+	s := sim.New()
+	svc, err := cfg.NewService(service.SimClock{Sim: s})
+	if err != nil {
+		return nil, err
+	}
 	// The workload is calibrated against the scalar reference coefficients
 	// so a heterogeneity sweep holds the offered load constant; explicit
-	// NodeCosts anchor it to the table's own reference instead.
+	// NodeCosts anchor it to the table's own reference instead. The table
+	// is read back from the service's cluster — the one the run actually
+	// schedules against — rather than resolved a second time.
 	wp := cfg.Params()
 	if len(cfg.NodeCosts) > 0 {
-		wp = cm.Reference()
+		wp = svc.Cluster().Costs().Reference()
 	}
 	gen, err := workload.New(workload.Config{
 		N: cfg.N, Params: wp,
@@ -228,63 +281,30 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	sched := rt.NewScheduler(cl, pol, part)
-	if cfg.Observer != nil {
-		sched.SetObserver(cfg.Observer)
-	}
-
-	res := &Result{Config: cfg, MaxLateness: math.Inf(-1)}
 	var (
-		s            = sim.New()
+		ctx          = context.Background()
 		commitHandle sim.Handle
 		runErr       error
-		respSum      float64
-		slackSum     float64
-		nodeSum      int
 	)
-
 	fail := func(err error) {
 		if runErr == nil {
 			runErr = err
 		}
 	}
 
-	// onCommit processes plans whose first transmission is due and records
-	// execution metrics from the exact dispatch timeline.
+	// Commit events start every transmission that is due; the service
+	// records the execution metrics from the exact dispatch timelines.
 	var rearmCommit func()
 	onCommit := func() {
-		plans, err := sched.CommitDue(s.Now())
-		if err != nil {
+		if err := svc.CommitDue(s.Now()); err != nil {
 			fail(err)
 			return
-		}
-		for _, pl := range plans {
-			// Multi-round plans carry an exact simulated Est, and
-			// OPR-style plans complete exactly at Est (all nodes start at
-			// r_n); only staggered single-round dispatches need the
-			// timeline re-simulated for the actual completion.
-			actual := pl.Est
-			if pl.Rounds <= 1 && !pl.SimultaneousStart {
-				d, derr := cl.Costs().SimulateFor(pl.Nodes, pl.Task.Sigma, pl.Starts, pl.Alphas)
-				if derr != nil {
-					fail(fmt.Errorf("driver: dispatching task %d: %w", pl.Task.ID, derr))
-					return
-				}
-				actual = d.Completion
-			}
-			res.Committed++
-			respSum += actual - pl.Task.Arrival
-			slackSum += pl.Est - actual
-			nodeSum += len(pl.Nodes)
-			if l := actual - pl.Task.AbsDeadline(); l > res.MaxLateness {
-				res.MaxLateness = l
-			}
 		}
 		rearmCommit()
 	}
 	rearmCommit = func() {
 		commitHandle.Cancel()
-		if at, ok := sched.NextCommit(); ok {
+		if at, ok := svc.NextCommit(); ok {
 			commitHandle = s.AtPrio(at, sim.PrioCommit, onCommit)
 		}
 	}
@@ -298,16 +318,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	onArrival = func(t *rt.Task) {
-		res.Arrivals++
-		accepted, err := sched.Submit(t, s.Now())
-		if err != nil {
+		if _, err := svc.Submit(ctx, *t); err != nil {
 			fail(err)
 			return
-		}
-		if accepted {
-			res.Accepted++
-		} else {
-			res.Rejected++
 		}
 		rearmCommit()
 		scheduleNext()
@@ -321,8 +334,20 @@ func Run(cfg Config) (*Result, error) {
 	if runErr != nil {
 		return nil, runErr
 	}
-	if sched.QueueLen() != 0 {
-		return nil, fmt.Errorf("driver: %d tasks still waiting after drain", sched.QueueLen())
+
+	st := svc.Stats()
+	ex := svc.Exec()
+	res := &Result{
+		Config:      cfg,
+		Arrivals:    st.Arrivals,
+		Accepted:    st.Accepts,
+		Rejected:    st.Rejects,
+		Committed:   ex.Committed,
+		MaxLateness: ex.MaxLateness,
+		MaxQueueLen: st.MaxQueueLen,
+	}
+	if st.QueueLen != 0 {
+		return nil, fmt.Errorf("driver: %d tasks still waiting after drain", st.QueueLen)
 	}
 	if res.Arrivals != res.Accepted+res.Rejected {
 		return nil, fmt.Errorf("driver: accounting mismatch: %d arrivals != %d accepted + %d rejected",
@@ -336,15 +361,15 @@ func Run(cfg Config) (*Result, error) {
 		res.RejectRatio = float64(res.Rejected) / float64(res.Arrivals)
 	}
 	if res.Committed > 0 {
-		res.MeanResponse = respSum / float64(res.Committed)
-		res.MeanEstSlack = slackSum / float64(res.Committed)
-		res.MeanNodes = float64(nodeSum) / float64(res.Committed)
+		res.MeanResponse = ex.RespSum / float64(res.Committed)
+		res.MeanEstSlack = ex.SlackSum / float64(res.Committed)
+		res.MeanNodes = float64(ex.NodeSum) / float64(res.Committed)
 	} else {
 		res.MaxLateness = 0
 	}
+	cl := svc.Cluster()
 	res.Span = math.Max(cfg.Horizon, cl.LastRelease())
 	res.Utilization = cl.Utilization(res.Span)
 	res.ReservedIdleFrac = cl.ReservedIdle() / (float64(cfg.N) * res.Span)
-	res.MaxQueueLen = sched.MaxQueueLen()
 	return res, nil
 }

@@ -1,0 +1,33 @@
+// Package errs defines the sentinel errors shared across the whole stack.
+// Every layer — the DLT closed forms, the rt scheduling framework, the
+// driver and the public service — wraps its failures around one of these
+// sentinels, so callers can distinguish the failure classes with errors.Is
+// without depending on message text or on the internal package that raised
+// the error. The root rtdls package re-exports them.
+package errs
+
+import "errors"
+
+var (
+	// ErrInfeasible marks a clean admission rejection: no node assignment
+	// can meet the task's deadline against the current cluster state. It is
+	// not an input error — rejection is a first-class outcome of the
+	// schedulability test (in a deployment it triggers deadline
+	// renegotiation, the paper's footnote 1).
+	ErrInfeasible = errors.New("rtdls: no feasible assignment meets the deadline")
+
+	// ErrDeadlinePast marks a task whose absolute deadline had already
+	// passed when it was submitted: it is rejected without running the
+	// schedulability test.
+	ErrDeadlinePast = errors.New("rtdls: absolute deadline already past at submission")
+
+	// ErrClusterBusy marks a submission the service could not consider at
+	// all: the waiting queue is at its configured bound, or the service has
+	// been closed.
+	ErrClusterBusy = errors.New("rtdls: cluster cannot accept submissions now")
+
+	// ErrBadConfig marks invalid input — malformed tasks, cost tables,
+	// options or configurations — as opposed to an infeasible but
+	// well-formed admission request.
+	ErrBadConfig = errors.New("rtdls: invalid configuration")
+)

@@ -1,0 +1,32 @@
+package errs_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"rtdls/internal/errs"
+)
+
+func TestSentinelsDistinct(t *testing.T) {
+	sentinels := []error{
+		errs.ErrInfeasible, errs.ErrDeadlinePast, errs.ErrClusterBusy, errs.ErrBadConfig,
+	}
+	for i, a := range sentinels {
+		for j, b := range sentinels {
+			if (i == j) != errors.Is(a, b) {
+				t.Fatalf("sentinel identity broken between %v and %v", a, b)
+			}
+		}
+	}
+}
+
+func TestWrappedMatch(t *testing.T) {
+	err := fmt.Errorf("driver: N must be >= 1, got 0: %w", errs.ErrBadConfig)
+	if !errors.Is(err, errs.ErrBadConfig) {
+		t.Fatalf("wrapped error does not match ErrBadConfig: %v", err)
+	}
+	if errors.Is(err, errs.ErrInfeasible) {
+		t.Fatalf("wrapped error wrongly matches ErrInfeasible")
+	}
+}

@@ -1,17 +1,18 @@
 package rt
 
 import (
-	"errors"
 	"math"
 
 	"rtdls/internal/dlt"
+	"rtdls/internal/errs"
 )
 
 // ErrInfeasible is returned by partitioners when no assignment can meet the
 // task's deadline; the schedulability test then fails and the new arrival
 // is rejected (in a deployment, rejection triggers deadline renegotiation —
-// the paper's footnote 1; see examples/admission).
-var ErrInfeasible = errors.New("rt: no feasible assignment meets the deadline")
+// the paper's footnote 1; see examples/admission). It is the shared
+// errs.ErrInfeasible sentinel, so errors.Is matches across packages.
+var ErrInfeasible = errs.ErrInfeasible
 
 // PlanContext carries the cluster state a partitioner plans against.
 type PlanContext struct {

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"rtdls/internal/cluster"
+	"rtdls/internal/errs"
 )
 
 // Observer receives admission-control lifecycle callbacks. All methods may
@@ -24,7 +26,12 @@ type Observer interface {
 // schedule replaces the previous plan. A waiting task becomes committed —
 // occupying its nodes, no longer replannable — when its first data
 // transmission begins (its plan's earliest node start time).
+//
+// All methods are safe for concurrent use: a single mutex serialises
+// submissions, commits and statistic reads, so one scheduler can be driven
+// from many goroutines (the service package builds on this).
 type Scheduler struct {
+	mu   sync.Mutex
 	cl   *cluster.Cluster
 	pol  Policy
 	part Partitioner
@@ -58,8 +65,13 @@ func NewScheduler(cl *cluster.Cluster, pol Policy, part Partitioner) *Scheduler 
 	}
 }
 
-// SetObserver installs lifecycle callbacks (nil disables them).
-func (s *Scheduler) SetObserver(obs Observer) { s.obs = obs }
+// SetObserver installs lifecycle callbacks (nil disables them). Callbacks
+// run with the scheduler lock held and must not call back into it.
+func (s *Scheduler) SetObserver(obs Observer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obs = obs
+}
 
 // Cluster returns the cluster the scheduler manages.
 func (s *Scheduler) Cluster() *cluster.Cluster { return s.cl }
@@ -79,11 +91,14 @@ func (s *Scheduler) Submit(t *Task, now float64) (accepted bool, err error) {
 	if err := t.Validate(); err != nil {
 		return false, err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if t.Arrival > now {
-		return false, fmt.Errorf("rt: task %d submitted at %v before its arrival %v", t.ID, now, t.Arrival)
+		return false, fmt.Errorf("rt: task %d submitted at %v before its arrival %v: %w",
+			t.ID, now, t.Arrival, errs.ErrBadConfig)
 	}
 	if _, dup := s.plans[t.ID]; dup {
-		return false, fmt.Errorf("rt: task %d is already waiting", t.ID)
+		return false, fmt.Errorf("rt: task %d is already waiting: %w", t.ID, errs.ErrBadConfig)
 	}
 	s.arrivals++
 
@@ -146,6 +161,8 @@ func (s *Scheduler) reject(now float64, t *Task) {
 // ok=false when the queue is empty. The driver schedules a commit event at
 // this instant.
 func (s *Scheduler) NextCommit() (at float64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	at = math.Inf(1)
 	for _, pl := range s.plans {
 		if fs := pl.FirstStart(); fs < at {
@@ -163,6 +180,8 @@ const commitEps = 1e-9
 // now, in queue order, updating the cluster's release times and accounting.
 // It returns the committed plans (possibly none).
 func (s *Scheduler) CommitDue(now float64) ([]*Plan, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var out []*Plan
 	rest := s.waiting[:0]
 	tol := commitEps * math.Max(1, math.Abs(now))
@@ -190,31 +209,78 @@ func (s *Scheduler) CommitDue(now float64) ([]*Plan, error) {
 }
 
 // PlanFor returns the current plan for a waiting task, or nil.
-func (s *Scheduler) PlanFor(taskID int64) *Plan { return s.plans[taskID] }
+func (s *Scheduler) PlanFor(taskID int64) *Plan {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.plans[taskID]
+}
+
+// Stats is a consistent snapshot of the scheduler's admission counters.
+type Stats struct {
+	Arrivals    int // submitted tasks
+	Accepts     int // admitted tasks
+	Rejects     int // rejected tasks
+	Commits     int // committed (started) tasks
+	QueueLen    int // admitted-but-uncommitted tasks right now
+	MaxQueueLen int // largest waiting-queue length observed
+}
+
+// RejectRatio returns Rejects/Arrivals, the paper's evaluation metric
+// (0 when nothing has arrived).
+func (st Stats) RejectRatio() float64 {
+	if st.Arrivals == 0 {
+		return 0
+	}
+	return float64(st.Rejects) / float64(st.Arrivals)
+}
+
+// Stats returns a consistent snapshot of all admission counters, taken
+// under the scheduler lock.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Arrivals:    s.arrivals,
+		Accepts:     s.accepts,
+		Rejects:     s.rejects,
+		Commits:     s.commits,
+		QueueLen:    len(s.waiting),
+		MaxQueueLen: s.maxQueue,
+	}
+}
 
 // QueueLen returns the number of admitted-but-uncommitted tasks.
-func (s *Scheduler) QueueLen() int { return len(s.waiting) }
+//
+// Deprecated: use Stats for a consistent snapshot of all counters.
+func (s *Scheduler) QueueLen() int { return s.Stats().QueueLen }
 
 // MaxQueueLen returns the largest waiting-queue length observed.
-func (s *Scheduler) MaxQueueLen() int { return s.maxQueue }
+//
+// Deprecated: use Stats for a consistent snapshot of all counters.
+func (s *Scheduler) MaxQueueLen() int { return s.Stats().MaxQueueLen }
 
 // Arrivals returns the number of submitted tasks.
-func (s *Scheduler) Arrivals() int { return s.arrivals }
+//
+// Deprecated: use Stats for a consistent snapshot of all counters.
+func (s *Scheduler) Arrivals() int { return s.Stats().Arrivals }
 
 // Accepts returns the number of admitted tasks.
-func (s *Scheduler) Accepts() int { return s.accepts }
+//
+// Deprecated: use Stats for a consistent snapshot of all counters.
+func (s *Scheduler) Accepts() int { return s.Stats().Accepts }
 
 // Rejects returns the number of rejected tasks.
-func (s *Scheduler) Rejects() int { return s.rejects }
+//
+// Deprecated: use Stats for a consistent snapshot of all counters.
+func (s *Scheduler) Rejects() int { return s.Stats().Rejects }
 
 // Commits returns the number of committed (started) tasks.
-func (s *Scheduler) Commits() int { return s.commits }
+//
+// Deprecated: use Stats for a consistent snapshot of all counters.
+func (s *Scheduler) Commits() int { return s.Stats().Commits }
 
 // RejectRatio returns rejects/arrivals, the paper's evaluation metric
 // (0 when nothing has arrived).
-func (s *Scheduler) RejectRatio() float64 {
-	if s.arrivals == 0 {
-		return 0
-	}
-	return float64(s.rejects) / float64(s.arrivals)
-}
+//
+// Deprecated: use Stats().RejectRatio().
+func (s *Scheduler) RejectRatio() float64 { return s.Stats().RejectRatio() }

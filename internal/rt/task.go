@@ -8,6 +8,8 @@ package rt
 import (
 	"fmt"
 	"math"
+
+	"rtdls/internal/errs"
 )
 
 // Task is an aperiodic arbitrarily divisible task T = (A, σ, D): a single
@@ -29,13 +31,13 @@ func (t *Task) AbsDeadline() float64 { return t.Arrival + t.RelDeadline }
 // Validate reports whether the task parameters are usable.
 func (t *Task) Validate() error {
 	if math.IsNaN(t.Arrival) || math.IsInf(t.Arrival, 0) {
-		return fmt.Errorf("rt: task %d: non-finite arrival %v", t.ID, t.Arrival)
+		return fmt.Errorf("rt: task %d: non-finite arrival %v: %w", t.ID, t.Arrival, errs.ErrBadConfig)
 	}
 	if !(t.Sigma > 0) || math.IsInf(t.Sigma, 0) {
-		return fmt.Errorf("rt: task %d: data size must be positive and finite, got %v", t.ID, t.Sigma)
+		return fmt.Errorf("rt: task %d: data size must be positive and finite, got %v: %w", t.ID, t.Sigma, errs.ErrBadConfig)
 	}
 	if !(t.RelDeadline > 0) || math.IsInf(t.RelDeadline, 0) {
-		return fmt.Errorf("rt: task %d: relative deadline must be positive and finite, got %v", t.ID, t.RelDeadline)
+		return fmt.Errorf("rt: task %d: relative deadline must be positive and finite, got %v: %w", t.ID, t.RelDeadline, errs.ErrBadConfig)
 	}
 	return nil
 }
@@ -71,7 +73,7 @@ func ParsePolicy(s string) (Policy, error) {
 	case "fifo", "FIFO":
 		return FIFO, nil
 	default:
-		return 0, fmt.Errorf("rt: unknown policy %q (want \"edf\" or \"fifo\")", s)
+		return 0, fmt.Errorf("rt: unknown policy %q (want \"edf\" or \"fifo\"): %w", s, errs.ErrBadConfig)
 	}
 }
 

@@ -1,0 +1,88 @@
+package service
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"rtdls/internal/sim"
+)
+
+// Clock supplies the service's notion of "now" in simulation time units.
+// The same admission engine runs unchanged under the discrete-event
+// simulator (SimClock), under real time (WallClock) or under test control
+// (ManualClock). Implementations must be safe for concurrent use.
+type Clock interface {
+	// Now returns the current time. It must be monotonically
+	// non-decreasing across calls.
+	Now() float64
+}
+
+// SimClock adapts a discrete-event simulator to the Clock interface: the
+// service's "now" is the timestamp of the event currently executing. The
+// driver uses it to replay workloads deterministically.
+type SimClock struct{ Sim *sim.Simulator }
+
+// Now implements Clock.
+func (c SimClock) Now() float64 { return c.Sim.Now() }
+
+// WallClock maps real time onto simulation time units: Now returns the
+// number of units elapsed since the clock was created, at Scale units per
+// second. It is what a deployed admission-control service runs under.
+type WallClock struct {
+	start time.Time
+	scale float64
+}
+
+// NewWallClock returns a wall clock starting at 0 that advances scale
+// simulation time units per real second (scale <= 0 defaults to 1).
+func NewWallClock(scale float64) *WallClock {
+	if !(scale > 0) || math.IsInf(scale, 0) {
+		scale = 1
+	}
+	return &WallClock{start: time.Now(), scale: scale}
+}
+
+// Now implements Clock.
+func (c *WallClock) Now() float64 { return time.Since(c.start).Seconds() * c.scale }
+
+// ManualClock is an explicitly advanced clock for tests and for callers
+// that drive time themselves (e.g. replaying a trace). The zero value is
+// ready to use at time 0.
+type ManualClock struct {
+	mu  sync.Mutex
+	now float64
+}
+
+// NewManualClock returns a manual clock set to t.
+func NewManualClock(t float64) *ManualClock {
+	return &ManualClock{now: t}
+}
+
+// Now implements Clock.
+func (c *ManualClock) Now() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Set moves the clock to t. Moving backwards is a no-op: the clock is
+// monotone, matching every other Clock implementation.
+func (c *ManualClock) Set(t float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Advance moves the clock forward by d (negative d is a no-op) and returns
+// the new time.
+func (c *ManualClock) Advance(d float64) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d > 0 {
+		c.now += d
+	}
+	return c.now
+}

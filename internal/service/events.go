@@ -1,0 +1,157 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+
+	"rtdls/internal/rt"
+)
+
+// EventKind labels a service lifecycle event.
+type EventKind uint8
+
+const (
+	// EventAccept: the task passed the schedulability test and joined the
+	// waiting queue.
+	EventAccept EventKind = iota
+	// EventReject: the task was rejected (see Event.Reason for the typed
+	// cause: ErrInfeasible, ErrDeadlinePast or ErrClusterBusy).
+	EventReject
+	// EventCommit: the task's first data transmission began; its plan is
+	// final and its nodes are occupied.
+	EventCommit
+)
+
+// String returns the event kind's name.
+func (k EventKind) String() string {
+	switch k {
+	case EventAccept:
+		return "accept"
+	case EventReject:
+		return "reject"
+	case EventCommit:
+		return "commit"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one entry of the service's decision/lifecycle stream.
+type Event struct {
+	Kind EventKind
+	Time float64 // service time of the event
+	Task rt.Task // the task, by value
+
+	// Nodes and Est describe the plan (Accept/Commit events only).
+	Nodes int
+	Est   float64
+
+	// Reason is the typed rejection cause (Reject events only): one of
+	// errs.ErrInfeasible, errs.ErrDeadlinePast, errs.ErrClusterBusy.
+	Reason error
+}
+
+// subscriber is one event-stream consumer with a private buffered channel.
+type subscriber struct {
+	ch      chan Event
+	dropped uint64
+}
+
+// bus fans lifecycle events out to any number of subscribers. Publishing
+// never blocks: a subscriber that falls behind its buffer loses events
+// (counted per subscriber) rather than stalling admission control.
+type bus struct {
+	mu     sync.Mutex
+	subs   map[*subscriber]struct{}
+	lost   uint64 // drops accumulated from detached subscribers
+	closed bool
+}
+
+func newBus() *bus {
+	return &bus{subs: make(map[*subscriber]struct{})}
+}
+
+// subscribe registers a consumer with the given channel buffer (minimum 1)
+// and returns its channel plus a cancel function. After cancel (or bus
+// close) the channel is closed.
+func (b *bus) subscribe(buffer int) (<-chan Event, func()) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	s := &subscriber{ch: make(chan Event, buffer)}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		close(s.ch)
+		return s.ch, func() {}
+	}
+	b.subs[s] = struct{}{}
+	b.mu.Unlock()
+
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			b.mu.Lock()
+			_, live := b.subs[s]
+			delete(b.subs, s)
+			if live {
+				b.lost += s.dropped
+			}
+			b.mu.Unlock()
+			if live {
+				close(s.ch)
+			}
+		})
+	}
+	return s.ch, cancel
+}
+
+// publish delivers ev to every subscriber without blocking.
+func (b *bus) publish(ev Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for s := range b.subs {
+		select {
+		case s.ch <- ev:
+		default:
+			s.dropped++
+		}
+	}
+}
+
+// droppedTotal returns the number of events lost over the bus's lifetime:
+// drops at current subscribers plus drops carried over from detached ones.
+// It is monotone — cancelling a lagging subscriber does not erase its
+// losses.
+func (b *bus) droppedTotal() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := b.lost
+	for s := range b.subs {
+		n += s.dropped
+	}
+	return n
+}
+
+// close closes every subscriber channel and rejects future subscriptions.
+func (b *bus) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for s := range b.subs {
+		b.lost += s.dropped
+		close(s.ch)
+		delete(b.subs, s)
+	}
+}
+
+// hasSubscribers reports whether any consumer is attached (fast path to
+// skip event construction entirely on hot simulation loops).
+func (b *bus) hasSubscribers() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs) > 0
+}

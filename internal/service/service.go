@@ -1,0 +1,450 @@
+// Package service implements the long-lived admission-control service at
+// the heart of the v2 API: a goroutine-safe binding of clock + scheduler +
+// event fan-out. The paper's schedulability test is exposed not as a batch
+// simulation but as a continuously available surface — tasks arrive one at
+// a time (from any goroutine), are admitted or rejected against the
+// current processor available times, and every decision is published on a
+// subscribable event stream. A pluggable Clock lets the identical engine
+// run under the discrete-event simulator (the driver package replays
+// workloads through it) or under wall-clock time in a deployment.
+package service
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"rtdls/internal/cluster"
+	"rtdls/internal/errs"
+	"rtdls/internal/rt"
+)
+
+// Config assembles a Service. Cluster, Policy and Partitioner are
+// mandatory; everything else has working defaults.
+type Config struct {
+	Cluster     *cluster.Cluster
+	Policy      rt.Policy
+	Partitioner rt.Partitioner
+
+	// Clock supplies the service's notion of now; nil defaults to a
+	// ManualClock at 0 (time is then driven by task arrival stamps).
+	Clock Clock
+
+	// Observer optionally receives the legacy rt.Observer callbacks
+	// exactly as the scheduler emits them (accept/reject inside the
+	// schedulability test, commit when a transmission starts). New code
+	// should prefer Subscribe.
+	Observer rt.Observer
+
+	// MaxQueue bounds the waiting queue: a submission arriving while
+	// QueueLen >= MaxQueue is rejected with ErrClusterBusy before the
+	// schedulability test runs. 0 means unbounded.
+	MaxQueue int
+}
+
+// Decision is the outcome of one Submit: either an admission with the
+// plan's resource assignment, or a typed rejection.
+type Decision struct {
+	TaskID   int64
+	Accepted bool
+	At       float64 // service time of the decision
+
+	// Reason is nil when accepted; otherwise one of errs.ErrInfeasible,
+	// errs.ErrDeadlinePast, errs.ErrClusterBusy (errors.Is-matchable).
+	Reason error
+
+	// Plan details, populated only when accepted. Slices are copies owned
+	// by the caller, parallel and in dispatch order.
+	Nodes  []int
+	Starts []float64
+	Alphas []float64
+	Est    float64
+	Rounds int
+}
+
+// Stats is an atomic snapshot of the service's admission and cluster
+// state, taken under one lock acquisition.
+type Stats struct {
+	Time float64 // clock reading at the snapshot
+
+	Arrivals int // submissions considered (excluding hard input errors)
+	Accepts  int
+	Rejects  int
+	Commits  int
+
+	QueueLen    int // admitted-but-uncommitted tasks
+	MaxQueueLen int
+
+	BusyTime     float64 // committed node·time over all nodes
+	ReservedIdle float64 // wasted IIT node·time (OPR baselines only)
+	LastRelease  float64 // makespan of the committed schedule
+	Utilization  float64 // BusyTime / (N × max(Time, LastRelease))
+
+	EventsDropped uint64 // events lost across lagging subscribers
+}
+
+// RejectRatio returns Rejects/Arrivals (0 when nothing has arrived).
+func (st Stats) RejectRatio() float64 {
+	if st.Arrivals == 0 {
+		return 0
+	}
+	return float64(st.Rejects) / float64(st.Arrivals)
+}
+
+// ExecStats accumulates execution metrics over committed plans, measured
+// against each plan's exactly simulated dispatch timeline. The driver
+// assembles its Result from them.
+type ExecStats struct {
+	Committed   int
+	RespSum     float64 // Σ (actual completion − arrival)
+	SlackSum    float64 // Σ (estimate − actual completion)
+	NodeSum     int     // Σ assigned node count
+	MaxLateness float64 // max (actual completion − absolute deadline); -Inf before the first commit
+}
+
+// Service is the long-lived, concurrency-safe admission-control engine.
+// Create one with New; drive it with Submit/SubmitBatch; observe it with
+// Subscribe and Stats. All methods may be called from any goroutine.
+type Service struct {
+	mu    sync.Mutex
+	cl    *cluster.Cluster
+	sched *rt.Scheduler
+	clock Clock
+	obs   rt.Observer
+	bus   *bus
+
+	maxQueue int
+	closed   bool
+
+	arrivals int
+	accepts  int
+	rejects  int
+	exec     ExecStats
+}
+
+// New validates the configuration and returns a ready service.
+func New(cfg Config) (*Service, error) {
+	if cfg.Cluster == nil {
+		return nil, fmt.Errorf("service: nil cluster: %w", errs.ErrBadConfig)
+	}
+	if cfg.Partitioner == nil {
+		return nil, fmt.Errorf("service: nil partitioner: %w", errs.ErrBadConfig)
+	}
+	if cfg.MaxQueue < 0 {
+		return nil, fmt.Errorf("service: negative MaxQueue %d: %w", cfg.MaxQueue, errs.ErrBadConfig)
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = NewManualClock(0)
+	}
+	sched := rt.NewScheduler(cfg.Cluster, cfg.Policy, cfg.Partitioner)
+	if cfg.Observer != nil {
+		sched.SetObserver(cfg.Observer)
+	}
+	return &Service{
+		cl:       cfg.Cluster,
+		sched:    sched,
+		clock:    clock,
+		obs:      cfg.Observer,
+		bus:      newBus(),
+		maxQueue: cfg.MaxQueue,
+		exec:     ExecStats{MaxLateness: math.Inf(-1)},
+	}, nil
+}
+
+// Cluster returns the cluster the service manages.
+func (s *Service) Cluster() *cluster.Cluster { return s.cl }
+
+// Scheduler returns the underlying scheduler (for integration points that
+// still speak the rt layer, e.g. the verifier tests).
+func (s *Service) Scheduler() *rt.Scheduler { return s.sched }
+
+// Clock returns the service's clock.
+func (s *Service) Clock() Clock { return s.clock }
+
+// Submit runs the admission test for one task and returns the decision.
+// The task is taken by value: the service keeps its own copy, so callers
+// may reuse or mutate theirs freely afterwards.
+//
+// A zero Arrival means "arrives now" (the current clock reading). A
+// future Arrival advances the service's effective time to it, exactly as
+// the discrete-event replay does: every waiting plan whose first
+// transmission is due by that instant is committed (irrevocably — a
+// committed plan is no longer replannable) before the new task is tested.
+// Mixing future-dated arrivals with a live wall clock therefore locks in
+// the intervening schedule early; time-stamped replays should feed tasks
+// in arrival order, as the driver does.
+//
+// The error return reports malformed input (ErrBadConfig), a cancelled
+// context, or a closed service (ErrClusterBusy) — never infeasibility: an
+// infeasible task is a clean decision with Reason ErrInfeasible.
+func (s *Service) Submit(ctx context.Context, task rt.Task) (Decision, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return Decision{}, err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.submitLocked(task)
+}
+
+// SubmitBatch submits several tasks under one lock acquisition, in order,
+// and returns one decision per considered task. On a hard error the
+// decisions made so far are returned alongside it.
+func (s *Service) SubmitBatch(ctx context.Context, tasks []rt.Task) ([]Decision, error) {
+	decisions := make([]Decision, 0, len(tasks))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, task := range tasks {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return decisions, err
+			}
+		}
+		d, err := s.submitLocked(task)
+		if err != nil {
+			return decisions, err
+		}
+		decisions = append(decisions, d)
+	}
+	return decisions, nil
+}
+
+func (s *Service) submitLocked(task rt.Task) (Decision, error) {
+	if s.closed {
+		return Decision{}, fmt.Errorf("service: closed: %w", errs.ErrClusterBusy)
+	}
+	now := s.clock.Now()
+	if task.Arrival == 0 && now > 0 {
+		task.Arrival = now
+	}
+	if task.Arrival > now {
+		now = task.Arrival
+	}
+	t := &task
+	if err := t.Validate(); err != nil {
+		return Decision{}, err
+	}
+	// Start every transmission that is due before the new arrival is
+	// considered — the service-side analogue of the driver's commit events.
+	if err := s.commitDueLocked(now); err != nil {
+		return Decision{}, err
+	}
+
+	if t.AbsDeadline() <= now {
+		return s.rejectLocked(t, now, errs.ErrDeadlinePast), nil
+	}
+	if s.maxQueue > 0 && s.sched.Stats().QueueLen >= s.maxQueue {
+		return s.rejectLocked(t, now, errs.ErrClusterBusy), nil
+	}
+
+	accepted, err := s.sched.Submit(t, now)
+	if err != nil {
+		return Decision{}, err
+	}
+	s.arrivals++
+	if !accepted {
+		// The scheduler already notified the legacy observer; publish the
+		// typed stream event here.
+		s.rejects++
+		d := Decision{TaskID: t.ID, At: now, Reason: errs.ErrInfeasible}
+		s.publishLocked(Event{Kind: EventReject, Time: now, Task: *t, Reason: errs.ErrInfeasible})
+		return d, nil
+	}
+	s.accepts++
+	pl := s.sched.PlanFor(t.ID)
+	d := Decision{
+		TaskID:   t.ID,
+		Accepted: true,
+		At:       now,
+		Est:      pl.Est,
+		Rounds:   pl.Rounds,
+		Nodes:    append([]int(nil), pl.Nodes...),
+		Starts:   append([]float64(nil), pl.Starts...),
+		Alphas:   append([]float64(nil), pl.Alphas...),
+	}
+	s.publishLocked(Event{
+		Kind: EventAccept, Time: now, Task: *t,
+		Nodes: len(pl.Nodes), Est: pl.Est,
+	})
+	return d, nil
+}
+
+// rejectLocked records a service-level rejection (the schedulability test
+// did not run) and notifies both the legacy observer and the stream.
+func (s *Service) rejectLocked(t *rt.Task, now float64, reason error) Decision {
+	s.arrivals++
+	s.rejects++
+	if s.obs != nil {
+		s.obs.OnReject(now, t)
+	}
+	s.publishLocked(Event{Kind: EventReject, Time: now, Task: *t, Reason: reason})
+	return Decision{TaskID: t.ID, At: now, Reason: reason}
+}
+
+func (s *Service) publishLocked(ev Event) {
+	if s.bus.hasSubscribers() {
+		s.bus.publish(ev)
+	}
+}
+
+// CommitDue commits every waiting plan whose first transmission start is
+// due at the given time, recording execution metrics from the exact
+// dispatch timelines. The driver calls it from its commit events; Submit
+// calls it implicitly.
+func (s *Service) CommitDue(now float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.commitDueLocked(now)
+}
+
+func (s *Service) commitDueLocked(now float64) error {
+	plans, err := s.sched.CommitDue(now)
+	if err != nil {
+		return err
+	}
+	for _, pl := range plans {
+		// Multi-round plans carry an exact simulated Est, and OPR-style
+		// plans complete exactly at Est (all nodes start at r_n); only
+		// staggered single-round dispatches need the timeline re-simulated
+		// for the actual completion.
+		actual := pl.Est
+		if pl.Rounds <= 1 && !pl.SimultaneousStart {
+			d, derr := s.cl.Costs().SimulateFor(pl.Nodes, pl.Task.Sigma, pl.Starts, pl.Alphas)
+			if derr != nil {
+				return fmt.Errorf("service: dispatching task %d: %w", pl.Task.ID, derr)
+			}
+			actual = d.Completion
+		}
+		s.exec.Committed++
+		s.exec.RespSum += actual - pl.Task.Arrival
+		s.exec.SlackSum += pl.Est - actual
+		s.exec.NodeSum += len(pl.Nodes)
+		if l := actual - pl.Task.AbsDeadline(); l > s.exec.MaxLateness {
+			s.exec.MaxLateness = l
+		}
+		s.publishLocked(Event{
+			Kind: EventCommit, Time: now, Task: *pl.Task,
+			Nodes: len(pl.Nodes), Est: pl.Est,
+		})
+	}
+	return nil
+}
+
+// NextCommit returns the earliest pending first-transmission time, or
+// ok=false when the waiting queue is empty.
+func (s *Service) NextCommit() (at float64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sched.NextCommit()
+}
+
+// Pump commits everything due at the current clock reading. Callers that
+// submit regularly never need it; it exists for idle periods.
+func (s *Service) Pump() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.commitDueLocked(s.clock.Now())
+}
+
+// Drain commits every remaining waiting plan, advancing through the
+// pending first-transmission instants regardless of the clock — the
+// shutdown/flush analogue of the driver running its queue dry.
+func (s *Service) Drain() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		at, ok := s.sched.NextCommit()
+		if !ok {
+			return nil
+		}
+		if err := s.commitDueLocked(at); err != nil {
+			return err
+		}
+	}
+}
+
+// Stats returns a consistent snapshot of the admission counters and
+// cluster accounting.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock.Now()
+	ss := s.sched.Stats()
+	span := math.Max(now, s.cl.LastRelease())
+	return Stats{
+		Time:          now,
+		Arrivals:      s.arrivals,
+		Accepts:       s.accepts,
+		Rejects:       s.rejects,
+		Commits:       s.exec.Committed,
+		QueueLen:      ss.QueueLen,
+		MaxQueueLen:   ss.MaxQueueLen,
+		BusyTime:      s.cl.BusyTime(),
+		ReservedIdle:  s.cl.ReservedIdle(),
+		LastRelease:   s.cl.LastRelease(),
+		Utilization:   s.cl.Utilization(span),
+		EventsDropped: s.bus.droppedTotal(),
+	}
+}
+
+// Exec returns the accumulated execution metrics of committed plans.
+func (s *Service) Exec() ExecStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.exec
+}
+
+// Subscribe attaches a consumer to the decision/lifecycle event stream
+// with the given channel buffer. The returned cancel function detaches it
+// and closes the channel. A consumer that falls behind loses events
+// (counted in Stats.EventsDropped) rather than blocking admission control.
+func (s *Service) Subscribe(buffer int) (<-chan Event, func()) {
+	return s.bus.subscribe(buffer)
+}
+
+// Close marks the service closed — subsequent submissions fail with
+// ErrClusterBusy — and closes every subscriber channel. Waiting plans are
+// not committed; call Drain first to flush them. Close is idempotent.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.bus.close()
+	return nil
+}
+
+// CombineObservers fans legacy rt.Observer callbacks out to several
+// observers (nil entries are skipped). It replaces the ad-hoc fan-out
+// types the CLIs used to define.
+func CombineObservers(obs ...rt.Observer) rt.Observer {
+	flat := make(multiObserver, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			flat = append(flat, o)
+		}
+	}
+	return flat
+}
+
+type multiObserver []rt.Observer
+
+func (m multiObserver) OnAccept(now float64, t *rt.Task, p *rt.Plan) {
+	for _, o := range m {
+		o.OnAccept(now, t, p)
+	}
+}
+
+func (m multiObserver) OnReject(now float64, t *rt.Task) {
+	for _, o := range m {
+		o.OnReject(now, t)
+	}
+}
+
+func (m multiObserver) OnCommit(now float64, p *rt.Plan) {
+	for _, o := range m {
+		o.OnCommit(now, p)
+	}
+}

@@ -34,7 +34,10 @@ func (v Violation) String() string {
 }
 
 // Checker implements rt.Observer and re-validates every committed plan.
-// Not safe for concurrent use (neither is the scheduler).
+// It has no locking of its own; callbacks are serialised by whichever
+// scheduler or service the checker is installed on, so one checker per
+// run is safe even with concurrent submitters. Inspect OK()/Report() only
+// after the run settles.
 type Checker struct {
 	p  dlt.Params
 	cm *dlt.CostModel // nil or uniform: re-simulate with the scalar p

@@ -14,8 +14,10 @@ import (
 	"rtdls/internal/workload"
 )
 
-// Version identifies this release of the library.
-const Version = "1.0.0"
+// Version identifies this release of the library. 2.0.0 redesigned the
+// public API around the long-lived rtdls.Service (see New, Submit,
+// Subscribe); the 1.x Config/Run surface remains as deprecated shims.
+const Version = "2.0.0"
 
 // Params holds the cluster's linear cost coefficients: Cms is the time to
 // transmit one unit of load from the head node to a processing node, Cps
@@ -71,6 +73,9 @@ const (
 	EDF  = rt.EDF
 )
 
+// ParsePolicy parses "edf" or "fifo" (either case) into a Policy.
+func ParsePolicy(s string) (Policy, error) { return rt.ParsePolicy(s) }
+
 // Algorithm identifiers accepted by Config.Algorithm.
 const (
 	AlgDLTIIT    = driver.AlgDLTIIT    // this paper: DLT partitioning utilising IITs
@@ -85,6 +90,10 @@ func Algorithms() []string { return driver.Algorithms() }
 
 // Config fully specifies one simulation run; see Baseline for the paper's
 // baseline parameters.
+//
+// Deprecated: new code should describe the cluster with functional options
+// and the workload with a Workload value, then call Simulate. Config
+// remains supported and Run(cfg) reproduces pre-2.0 results bit for bit.
 type Config = driver.Config
 
 // Result carries one run's admission and execution metrics.
@@ -96,11 +105,17 @@ func Baseline() Config { return driver.Default() }
 
 // Run executes one end-to-end simulation: Poisson arrivals of divisible
 // tasks admission-tested by the configured algorithm on a discrete-event
-// cluster model.
+// cluster model. Since 2.0 it is a thin adapter that replays the workload
+// through the same admission Service the online API exposes.
+//
+// Deprecated: use Simulate with functional options. Run remains supported
+// and reproduces pre-2.0 results bit for bit.
 func Run(cfg Config) (*Result, error) { return driver.Run(cfg) }
 
 // RunSeries runs the configuration across several SystemLoad values,
 // returning one Result per load.
+//
+// Deprecated: use SimulateSeries.
 func RunSeries(cfg Config, loads []float64) ([]*Result, error) {
 	out := make([]*Result, 0, len(loads))
 	for _, l := range loads {
@@ -136,10 +151,18 @@ type Scheduler = rt.Scheduler
 type Partitioner = rt.Partitioner
 
 // NewScheduler builds a scheduler over the cluster for the given policy
-// and algorithm identifier (see Algorithms).
+// and algorithm identifier (see Algorithms). Construction is routed
+// through the same path as the Service options, with the cluster's actual
+// cost table filled in — partitioners themselves read per-node costs at
+// plan time through the scheduler's PlanContext, so heterogeneous
+// clusters are handled either way; AlgDLTMR keeps its default round
+// count.
+//
+// Deprecated: use New with WithCosts/WithPolicy/WithAlgorithm — the
+// Service wraps this scheduler with commit handling, an event stream and
+// concurrency safety.
 func NewScheduler(cl *Cluster, pol Policy, algorithm string) (*Scheduler, error) {
-	cfg := driver.Config{Algorithm: algorithm}
-	part, err := cfg.NewPartitioner()
+	part, err := driver.PartitionerFor(algorithm, 0, cl.Costs())
 	if err != nil {
 		return nil, err
 	}

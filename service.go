@@ -1,0 +1,431 @@
+package rtdls
+
+import (
+	"context"
+	"fmt"
+
+	"rtdls/internal/cluster"
+	"rtdls/internal/driver"
+	"rtdls/internal/rt"
+	"rtdls/internal/service"
+)
+
+// Clock supplies a Service's notion of "now" in simulation time units; the
+// same admission engine runs under the discrete-event simulator, under
+// wall-clock time or under test control. Implementations must be safe for
+// concurrent use.
+type Clock = service.Clock
+
+// ManualClock is an explicitly advanced, monotone Clock for tests and for
+// callers that drive time themselves.
+type ManualClock = service.ManualClock
+
+// WallClock maps real time onto simulation time units — what a deployed
+// admission-control service runs under.
+type WallClock = service.WallClock
+
+// NewManualClock returns a manual clock set to t.
+func NewManualClock(t float64) *ManualClock { return service.NewManualClock(t) }
+
+// NewWallClock returns a wall clock starting at 0 that advances scale
+// simulation time units per real second (scale <= 0 defaults to 1).
+func NewWallClock(scale float64) *WallClock { return service.NewWallClock(scale) }
+
+// Decision is the outcome of one Submit: an admission carrying the plan's
+// resource assignment, or a typed rejection (Reason is errors.Is-matchable
+// against ErrInfeasible, ErrDeadlinePast, ErrClusterBusy).
+type Decision = service.Decision
+
+// Event is one entry of the service's decision/lifecycle stream.
+type Event = service.Event
+
+// EventKind labels a lifecycle event: EventAccept, EventReject or
+// EventCommit.
+type EventKind = service.EventKind
+
+// Lifecycle event kinds.
+const (
+	EventAccept = service.EventAccept
+	EventReject = service.EventReject
+	EventCommit = service.EventCommit
+)
+
+// ServiceStats is an atomic snapshot of a Service's admission counters and
+// cluster accounting.
+type ServiceStats = service.Stats
+
+// Observer receives the legacy per-task lifecycle callbacks
+// (accept/reject/commit); TraceRing, GanttCollector and Verifier implement
+// it. New code should prefer Service.Subscribe.
+type Observer = rt.Observer
+
+// CombineObservers fans lifecycle callbacks out to several observers (nil
+// entries are skipped).
+func CombineObservers(obs ...Observer) Observer { return service.CombineObservers(obs...) }
+
+// serviceOptions collects the functional options of New, Simulate and
+// CostModelFor.
+type serviceOptions struct {
+	n          int
+	params     Params
+	nodeCosts  []NodeCost
+	cmsSpread  float64
+	cpsSpread  float64
+	heteroSeed uint64
+	policy     Policy
+	algorithm  string
+	rounds     int
+	clock      Clock
+	observer   Observer
+	maxQueue   int
+}
+
+func defaultOptions() serviceOptions {
+	return serviceOptions{
+		n:         16,
+		params:    Params{Cms: 1, Cps: 100},
+		policy:    EDF,
+		algorithm: AlgDLTIIT,
+	}
+}
+
+// Option configures New, Simulate or CostModelFor. Options are applied in
+// order; later options override earlier ones.
+type Option func(*serviceOptions) error
+
+// WithNodes sets the cluster size (default 16, the paper's baseline).
+func WithNodes(n int) Option {
+	return func(o *serviceOptions) error {
+		if n < 1 {
+			return fmt.Errorf("rtdls: WithNodes(%d): need at least one node: %w", n, ErrBadConfig)
+		}
+		o.n = n
+		return nil
+	}
+}
+
+// WithParams sets the scalar cost coefficients shared by every node
+// (default Cms=1, Cps=100, the paper's baseline).
+func WithParams(p Params) Option {
+	return func(o *serviceOptions) error {
+		o.params = p
+		return nil
+	}
+}
+
+// WithCosts gives every node its own cost coefficients from an existing
+// cost model; it overrides WithNodes and WithNodeCosts.
+func WithCosts(cm *CostModel) Option {
+	return func(o *serviceOptions) error {
+		if cm == nil {
+			return fmt.Errorf("rtdls: WithCosts(nil): %w", ErrBadConfig)
+		}
+		o.nodeCosts = cm.Costs()
+		o.n = cm.N()
+		return nil
+	}
+}
+
+// WithNodeCosts gives every node its own cost coefficients (the node count
+// follows the slice); it overrides WithNodes.
+func WithNodeCosts(costs []NodeCost) Option {
+	return func(o *serviceOptions) error {
+		if len(costs) == 0 {
+			return fmt.Errorf("rtdls: WithNodeCosts: empty table: %w", ErrBadConfig)
+		}
+		o.nodeCosts = append([]NodeCost(nil), costs...)
+		o.n = len(costs)
+		return nil
+	}
+}
+
+// WithCostSpread draws a deterministic heterogeneous cost table around the
+// scalar reference: per-node coefficients log-uniform within the given
+// spread factors (a factor <= 1 keeps that coefficient homogeneous),
+// seeded independently of any workload seed. Ignored when an explicit cost
+// table is also given.
+func WithCostSpread(cmsSpread, cpsSpread float64, seed uint64) Option {
+	return func(o *serviceOptions) error {
+		o.cmsSpread = cmsSpread
+		o.cpsSpread = cpsSpread
+		o.heteroSeed = seed
+		return nil
+	}
+}
+
+// WithPolicy selects the execution-order policy (default EDF).
+func WithPolicy(pol Policy) Option {
+	return func(o *serviceOptions) error {
+		o.policy = pol
+		return nil
+	}
+}
+
+// WithAlgorithm selects the partitioning algorithm (default AlgDLTIIT; see
+// Algorithms for the inventory).
+func WithAlgorithm(alg string) Option {
+	return func(o *serviceOptions) error {
+		o.algorithm = alg
+		return nil
+	}
+}
+
+// WithRounds sets the installments per node for AlgDLTMR (default 2).
+func WithRounds(r int) Option {
+	return func(o *serviceOptions) error {
+		if r < 1 {
+			return fmt.Errorf("rtdls: WithRounds(%d): need at least one round: %w", r, ErrBadConfig)
+		}
+		o.rounds = r
+		return nil
+	}
+}
+
+// WithClock installs the service's clock (default: a ManualClock at 0, so
+// time is driven by task arrival stamps). Simulate ignores it — the
+// simulation binds its own discrete-event clock.
+func WithClock(c Clock) Option {
+	return func(o *serviceOptions) error {
+		if c == nil {
+			return fmt.Errorf("rtdls: WithClock(nil): %w", ErrBadConfig)
+		}
+		o.clock = c
+		return nil
+	}
+}
+
+// WithObserver installs legacy lifecycle callbacks alongside the event
+// stream (combine several with CombineObservers).
+func WithObserver(obs Observer) Option {
+	return func(o *serviceOptions) error {
+		o.observer = obs
+		return nil
+	}
+}
+
+// WithMaxQueue bounds the waiting queue: submissions arriving while the
+// queue is full are rejected with ErrClusterBusy before the
+// schedulability test runs. 0 (the default) means unbounded. Simulate
+// ignores it.
+func WithMaxQueue(n int) Option {
+	return func(o *serviceOptions) error {
+		if n < 0 {
+			return fmt.Errorf("rtdls: WithMaxQueue(%d): %w", n, ErrBadConfig)
+		}
+		o.maxQueue = n
+		return nil
+	}
+}
+
+// apply folds the options over the defaults.
+func applyOptions(opts []Option) (serviceOptions, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(&o); err != nil {
+			return o, err
+		}
+	}
+	return o, nil
+}
+
+// config assembles the driver configuration the options describe, using
+// the canonical lowercase policy names so a Config echoed through Result
+// matches the 1.x convention.
+func (o serviceOptions) config() driver.Config {
+	pol := "edf"
+	if o.policy == FIFO {
+		pol = "fifo"
+	}
+	return driver.Config{
+		N:          o.n,
+		Cms:        o.params.Cms,
+		Cps:        o.params.Cps,
+		Policy:     pol,
+		Algorithm:  o.algorithm,
+		Rounds:     o.rounds,
+		NodeCosts:  o.nodeCosts,
+		CmsSpread:  o.cmsSpread,
+		CpsSpread:  o.cpsSpread,
+		HeteroSeed: o.heteroSeed,
+		Observer:   o.observer,
+	}
+}
+
+// CostModelFor resolves the per-node cost table the given options describe
+// — explicit node costs verbatim, a spread-generated table, or the uniform
+// scalar model — exactly as New and Simulate resolve it. Useful to build a
+// matching Verifier (NewVerifierCosts) or to inspect the drawn table.
+func CostModelFor(opts ...Option) (*CostModel, error) {
+	o, err := applyOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return o.config().CostModel()
+}
+
+// Service is the long-lived, goroutine-safe admission-control service: the
+// paper's schedulability test exposed as a continuously available surface.
+// Construct with New; submit tasks from any number of goroutines with
+// Submit/SubmitBatch; observe decisions via the Subscribe event stream or
+// the Stats snapshot. See examples/quickstart and examples/admission.
+type Service struct {
+	inner *service.Service
+	cm    *CostModel
+}
+
+// New builds a service from functional options:
+//
+//	svc, err := rtdls.New(
+//		rtdls.WithNodes(16),
+//		rtdls.WithParams(rtdls.Params{Cms: 1, Cps: 100}),
+//		rtdls.WithPolicy(rtdls.EDF),
+//		rtdls.WithAlgorithm(rtdls.AlgDLTIIT),
+//	)
+//
+// The zero-option call reproduces the paper's baseline cluster (16 nodes,
+// Cms=1, Cps=100, EDF, DLT-IIT) under a manual clock.
+func New(opts ...Option) (*Service, error) {
+	o, err := applyOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	cfg := o.config()
+	cm, err := cfg.CostModel()
+	if err != nil {
+		return nil, err
+	}
+	part, err := driver.PartitionerFor(o.algorithm, o.rounds, cm)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := cluster.NewHetero(cm.Costs())
+	if err != nil {
+		return nil, err
+	}
+	inner, err := service.New(service.Config{
+		Cluster:     cl,
+		Policy:      o.policy,
+		Partitioner: part,
+		Clock:       o.clock,
+		Observer:    o.observer,
+		MaxQueue:    o.maxQueue,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Service{inner: inner, cm: cm}, nil
+}
+
+// Submit runs the admission test for one task and returns the decision.
+// Safe to call from any goroutine. A zero Arrival means "arrives now"; a
+// future Arrival advances the effective submission instant. The error
+// return reports malformed input or a closed service — never
+// infeasibility, which is a clean decision with Reason ErrInfeasible.
+func (s *Service) Submit(ctx context.Context, t Task) (Decision, error) {
+	return s.inner.Submit(ctx, t)
+}
+
+// SubmitBatch submits several tasks atomically (one lock acquisition), in
+// order, returning one decision per considered task.
+func (s *Service) SubmitBatch(ctx context.Context, tasks []Task) ([]Decision, error) {
+	return s.inner.SubmitBatch(ctx, tasks)
+}
+
+// Subscribe attaches a consumer to the decision/lifecycle event stream.
+// The returned cancel function detaches it and closes the channel. A slow
+// consumer loses events (counted in Stats().EventsDropped) rather than
+// blocking admission control.
+func (s *Service) Subscribe(buffer int) (<-chan Event, func()) {
+	return s.inner.Subscribe(buffer)
+}
+
+// Stats returns a consistent snapshot of the admission counters, queue
+// depth and cluster utilization.
+func (s *Service) Stats() ServiceStats { return s.inner.Stats() }
+
+// NextCommit returns the earliest pending first-transmission time, or
+// ok=false when no task is waiting.
+func (s *Service) NextCommit() (at float64, ok bool) { return s.inner.NextCommit() }
+
+// Pump commits every waiting plan whose first transmission is due at the
+// current clock reading. Submissions do this implicitly; Pump exists for
+// idle periods.
+func (s *Service) Pump() error { return s.inner.Pump() }
+
+// Drain commits every remaining waiting plan regardless of the clock —
+// the flush/shutdown path.
+func (s *Service) Drain() error { return s.inner.Drain() }
+
+// Clock returns the service's clock.
+func (s *Service) Clock() Clock { return s.inner.Clock() }
+
+// Costs returns the per-node cost model the service schedules against.
+func (s *Service) Costs() *CostModel { return s.cm }
+
+// Cluster returns the live cluster substrate (release times, accounting).
+func (s *Service) Cluster() *Cluster { return s.inner.Cluster() }
+
+// Close marks the service closed — subsequent submissions fail with
+// ErrClusterBusy — and closes every subscriber channel. Call Drain first
+// to flush waiting plans. Close is idempotent.
+func (s *Service) Close() error { return s.inner.Close() }
+
+// Workload parameterises one synthetic evaluation run for Simulate:
+// Poisson arrivals at the given SystemLoad, σ ~ N(AvgSigma, AvgSigma)
+// truncated positive, deadlines via DCRatio, over the Horizon.
+type Workload struct {
+	SystemLoad float64
+	AvgSigma   float64
+	DCRatio    float64
+	Horizon    float64
+	Seed       uint64
+}
+
+// BaselineWorkload returns the paper's baseline workload (Sec. 5.1):
+// load 0.5, Avgσ=200, DCRatio=2, horizon 10⁷, seed 1.
+func BaselineWorkload() Workload {
+	return Workload{SystemLoad: 0.5, AvgSigma: 200, DCRatio: 2, Horizon: 1e7, Seed: 1}
+}
+
+// Simulate replays the synthetic workload through an admission service
+// bound to the discrete-event engine and returns the run's metrics. It is
+// the options-based successor of Run:
+//
+//	res, err := rtdls.Simulate(rtdls.Workload{SystemLoad: 0.7, AvgSigma: 200, DCRatio: 2, Horizon: 1e6, Seed: 1},
+//		rtdls.WithAlgorithm(rtdls.AlgDLTIIT))
+//
+// WithClock and WithMaxQueue are ignored: the simulation binds its own
+// clock and models an unbounded queue, matching the paper's evaluation.
+func Simulate(w Workload, opts ...Option) (*Result, error) {
+	o, err := applyOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	cfg := o.config()
+	cfg.SystemLoad = w.SystemLoad
+	cfg.AvgSigma = w.AvgSigma
+	cfg.DCRatio = w.DCRatio
+	cfg.Horizon = w.Horizon
+	cfg.Seed = w.Seed
+	return driver.Run(cfg)
+}
+
+// SimulateSeries runs the workload across several SystemLoad values,
+// returning one Result per load — the options-based successor of
+// RunSeries.
+func SimulateSeries(w Workload, loads []float64, opts ...Option) ([]*Result, error) {
+	out := make([]*Result, 0, len(loads))
+	for _, l := range loads {
+		wl := w
+		wl.SystemLoad = l
+		r, err := Simulate(wl, opts...)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
