@@ -20,11 +20,13 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 # Mirrors the CI bench job: one sample per root-package benchmark
-# (figure regenerations + BenchmarkServiceSubmit*) as a test2json stream.
-# Redirect instead of tee so a benchmark failure fails the target (make's
-# /bin/sh has no pipefail).
+# (figure regenerations + BenchmarkServiceSubmit*) plus the pool
+# shard-scaling benchmarks, as test2json streams. Redirect instead of tee
+# so a benchmark failure fails the target (make's /bin/sh has no
+# pipefail).
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -json . > BENCH_service.json
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -json ./internal/pool > BENCH_pool.json
 
 fmt:
 	gofmt -w .

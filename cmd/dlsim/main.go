@@ -14,6 +14,11 @@
 //
 //	dlsim -alg dlt-iit -load 0.7 -cps-spread 4
 //	dlsim -alg dlt-iit -n 3 -node-costs 1:50,1:100,2:400
+//
+// Sharded fleet: four independent 8-node clusters behind a placement
+// layer, same aggregate offered load:
+//
+//	dlsim -n 8 -shards 4 -placement spillover -load 0.9
 package main
 
 import (
@@ -49,6 +54,9 @@ func main() {
 		cpsSpread = flag.Float64("cps-spread", 0, "per-node Cps spread factor (>1 = heterogeneous cluster)")
 		hetSeed   = flag.Uint64("hetero-seed", 1, "seed for the per-node cost draw")
 		nodeCosts = flag.String("node-costs", "", "explicit per-node costs \"cms:cps,cms:cps,…\" (one pair per node, overrides spreads)")
+
+		shards    = flag.Int("shards", 0, "split the fleet into K independent clusters of -n nodes each (0 = single cluster)")
+		placement = flag.String("placement", "round-robin", fmt.Sprintf("shard routing policy: one of %v", rtdls.Placements()))
 	)
 	flag.Parse()
 
@@ -75,6 +83,16 @@ func main() {
 			fail(err)
 		}
 		opts = append(opts, rtdls.WithNodeCosts(costs))
+	}
+	if *shards > 0 {
+		if *traceN > 0 || *doVerify || *ganttT > 0 {
+			fail(fmt.Errorf("-trace, -verify and -gantt require a single cluster (shard node ids collide); drop -shards"))
+		}
+		place, err := rtdls.ParsePlacement(*placement, *seed)
+		if err != nil {
+			fail(err)
+		}
+		opts = append(opts, rtdls.WithShards(*shards), rtdls.WithPlacement(place))
 	}
 	costModel, err := rtdls.CostModelFor(opts...)
 	if err != nil {
@@ -122,6 +140,9 @@ func main() {
 
 	fmt.Printf("%s-%s  N=%d Cms=%g Cps=%g Avgσ=%g DCRatio=%g load=%.2f seed=%d\n",
 		*policy, *alg, *n, *cms, *cps, *avgSigma, *dcRatio, *load, *seed)
+	if res.Shards > 1 {
+		fmt.Printf("  sharded fleet   %d × %d nodes, placement %s\n", res.Shards, *n, res.Placement)
+	}
 	if !costModel.Uniform() {
 		fmt.Printf("  heterogeneous node costs (cms:cps):")
 		for i := 0; i < costModel.N(); i++ {
@@ -141,6 +162,14 @@ func main() {
 	fmt.Printf("  utilization     %.4f\n", res.Utilization)
 	fmt.Printf("  reserved idle   %.4f (wasted IIT fraction; OPR only)\n", res.ReservedIdleFrac)
 	fmt.Printf("  max queue       %d\n", res.MaxQueueLen)
+	if res.Shards > 1 {
+		fmt.Printf("  spillovers      %d\n", res.Spillovers)
+		fmt.Printf("  shard rejects  ")
+		for _, rr := range res.ShardRejectRatios {
+			fmt.Printf(" %.4f", rr)
+		}
+		fmt.Println(" (per-shard reject ratio; spillover retries count per shard)")
+	}
 
 	if ring != nil {
 		fmt.Printf("\nlast %d lifecycle events:\n", len(ring.Records()))

@@ -10,6 +10,11 @@
 // speeds spread around Cps, same offered load):
 //
 //	sweep -param cpsspread -values 1,2,4,8,16 -load 0.7 -algs dlt-iit,opr-mn,user-split
+//
+// Shard-scaling panel (how splitting the same fleet into more independent
+// clusters trades reject ratio for admission throughput):
+//
+//	sweep -param shards -values 1,2,4,8 -n 8 -load 0.8 -placement spillover
 package main
 
 import (
@@ -24,7 +29,7 @@ import (
 
 func main() {
 	var (
-		param     = flag.String("param", "load", "parameter to sweep: load, n, cms, cps, avgsigma, dcratio, rounds, cmsspread, cpsspread")
+		param     = flag.String("param", "load", "parameter to sweep: load, n, cms, cps, avgsigma, dcratio, rounds, cmsspread, cpsspread, shards")
 		values    = flag.String("values", "0.1,0.3,0.5,0.7,0.9", "comma-separated values")
 		algsFlag  = flag.String("algs", "dlt-iit,opr-mn", "comma-separated algorithms")
 		policy    = flag.String("policy", "edf", "scheduling policy: edf or fifo")
@@ -39,6 +44,8 @@ func main() {
 		cmsSpread = flag.Float64("cmsspread", 0, "per-node Cms spread factor (>1 = heterogeneous cluster)")
 		cpsSpread = flag.Float64("cpsspread", 0, "per-node Cps spread factor (>1 = heterogeneous cluster)")
 		hetSeed   = flag.Uint64("heteroseed", 1, "seed for the per-node cost draw")
+		shards    = flag.Int("shards", 0, "split the fleet into K independent clusters of -n nodes (0 = single cluster)")
+		placement = flag.String("placement", "round-robin", "shard routing policy (with -shards or -param shards)")
 	)
 	flag.Parse()
 
@@ -68,6 +75,7 @@ func main() {
 				n: *n, cms: *cms, cps: *cps, rounds: 2,
 				cmsSpread: *cmsSpread, cpsSpread: *cpsSpread,
 				load: *load, avgSigma: *avgSigma, dcRatio: *dcRatio,
+				shards: *shards,
 			}
 			if err := apply(&p, *param, v); err != nil {
 				fmt.Fprintln(os.Stderr, "sweep:", err)
@@ -75,17 +83,26 @@ func main() {
 			}
 			sum := 0.0
 			for run := 0; run < *runs; run++ {
-				res, err := rtdls.Simulate(rtdls.Workload{
-					SystemLoad: p.load, AvgSigma: p.avgSigma, DCRatio: p.dcRatio,
-					Horizon: *horizon, Seed: uint64(1000*run) + 17,
-				},
+				opts := []rtdls.Option{
 					rtdls.WithNodes(p.n),
 					rtdls.WithParams(rtdls.Params{Cms: p.cms, Cps: p.cps}),
 					rtdls.WithPolicy(pol),
 					rtdls.WithAlgorithm(strings.TrimSpace(a)),
 					rtdls.WithRounds(p.rounds),
 					rtdls.WithCostSpread(p.cmsSpread, p.cpsSpread, *hetSeed),
-				)
+				}
+				if p.shards > 0 {
+					place, perr := rtdls.ParsePlacement(*placement, *hetSeed)
+					if perr != nil {
+						fmt.Fprintln(os.Stderr, "sweep:", perr)
+						os.Exit(1)
+					}
+					opts = append(opts, rtdls.WithShards(p.shards), rtdls.WithPlacement(place))
+				}
+				res, err := rtdls.Simulate(rtdls.Workload{
+					SystemLoad: p.load, AvgSigma: p.avgSigma, DCRatio: p.dcRatio,
+					Horizon: *horizon, Seed: uint64(1000*run) + 17,
+				}, opts...)
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "sweep:", err)
 					os.Exit(1)
@@ -106,6 +123,7 @@ type point struct {
 	cmsSpread, cpsSpread float64
 	load                 float64
 	avgSigma, dcRatio    float64
+	shards               int
 }
 
 func apply(p *point, param string, v float64) error {
@@ -128,6 +146,8 @@ func apply(p *point, param string, v float64) error {
 		p.cmsSpread = v
 	case "cpsspread":
 		p.cpsSpread = v
+	case "shards":
+		p.shards = int(v)
 	default:
 		return fmt.Errorf("unknown parameter %q", param)
 	}

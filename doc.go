@@ -57,6 +57,22 @@
 // preserving the hard real-time guarantee without the paper's common-Cms
 // assumption.
 //
+// For scale-out, the service shards into a multi-cluster admission pool
+// (internal/pool), after the multi-source divisible-load systems of
+// Wu/Cao/Robertazzi: WithShards(k) runs K independent clusters — each
+// with its own scheduler, lock and commit pump, sharing one clock and one
+// shard-tagged event stream — behind the identical Service surface, and
+// WithPlacement selects the routing layer (RoundRobin, LeastLoaded,
+// PowerOfTwoChoices, or Spillover, which retries rejected tasks on the
+// remaining shards before giving a final reject). WithShardNodes and
+// WithShardNodeCosts describe heterogeneous fleets of differently sized
+// and priced clusters. Decisions and events report the placing shard,
+// Stats aggregates the fleet, and ShardStats/Clusters expose per-shard
+// views. The default single-cluster service is exactly the K=1 special
+// case: WithShards(1) is property-tested to be bit-for-bit identical to
+// it, and a K-shard RoundRobin pool reproduces K independent
+// single-cluster simulations decision for decision. See examples/pool.
+//
 // Build and test with the standard toolchain — go build ./... and
 // go test ./... — or via the Makefile (make ci mirrors the CI pipeline:
 // build, gofmt gate, vet, race tests, benchmark compile check and a fuzz

@@ -1,0 +1,115 @@
+// Example pool shards the admission service into a multi-cluster fleet
+// and shows what the placement layer is worth: the identical task stream
+// is replayed through a monolithic 32-node cluster and through 4×8-node
+// pools under every placement policy, via the live Service API.
+//
+// Two things to observe in the output:
+//
+//   - Spillover placement cuts the sharded fleet's reject ratio by 2–10×
+//     versus the single-choice placements (a rejected task is retried on
+//     the remaining shards, least loaded first, before the pool gives a
+//     final reject), closing most of the gap to the monolithic reference.
+//     Least-loaded alone actually herds onto one shard — queue length is
+//     a coarse signal when queues drain quickly — which is exactly why
+//     spillover and power-of-two-choices exist.
+//
+//   - The monolith still rejects least: one big divisible-load cluster
+//     can give any task all 32 nodes and replans the whole queue at every
+//     arrival. What it cannot do is scale admission control — every
+//     Submit serialises on one lock and one O(queue × plan) replan,
+//     whereas the pool runs K independent schedulers (see
+//     BenchmarkPoolSubmitParallel). Sharding buys that throughput for a
+//     modest reject-ratio premium, and spillover shrinks the premium.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"rtdls"
+)
+
+const (
+	totalNodes = 32
+	shards     = 4
+	tasks      = 3000
+)
+
+// params and workload put the fleet under ~130% aggregate overload with
+// deadlines loose enough (DCRatio 8) that an 8-node shard can serve most
+// tasks — the regime where routing quality, not raw feasibility, decides
+// the reject ratio.
+var params = rtdls.Params{Cms: 8, Cps: 100}
+
+func replay(stream []rtdls.Task, opts ...rtdls.Option) (rtdls.ServiceStats, int) {
+	svc, err := rtdls.New(append([]rtdls.Option{rtdls.WithParams(params)}, opts...)...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+	for _, task := range stream {
+		if _, err := svc.Submit(ctx, task); err != nil {
+			log.Fatalf("task %d: %v", task.ID, err)
+		}
+	}
+	if err := svc.Drain(); err != nil {
+		log.Fatal(err)
+	}
+	return svc.Stats(), svc.Spillovers()
+}
+
+func main() {
+	gen, err := rtdls.NewGenerator(rtdls.WorkloadConfig{
+		N:          totalNodes,
+		Params:     params,
+		SystemLoad: 1.3,
+		AvgSigma:   200,
+		DCRatio:    8,
+		Horizon:    1e9,
+		Seed:       7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream := make([]rtdls.Task, 0, tasks)
+	for len(stream) < tasks {
+		t, ok := gen.Next()
+		if !ok {
+			break
+		}
+		stream = append(stream, *t)
+	}
+
+	shardOpts := func(p rtdls.Placement) []rtdls.Option {
+		return []rtdls.Option{
+			rtdls.WithNodes(totalNodes / shards),
+			rtdls.WithShards(shards),
+			rtdls.WithPlacement(p),
+		}
+	}
+	candidates := []struct {
+		label string
+		opts  []rtdls.Option
+	}{
+		{"monolith 1×32", []rtdls.Option{rtdls.WithNodes(totalNodes)}},
+		{"pool 4×8 least-loaded", shardOpts(rtdls.LeastLoaded{})},
+		{"pool 4×8 power-of-two", shardOpts(rtdls.PowerOfTwoChoices{Seed: 7})},
+		{"pool 4×8 round-robin", shardOpts(rtdls.RoundRobin{})},
+		{"pool 4×8 spillover", shardOpts(rtdls.Spillover{Inner: rtdls.LeastLoaded{}})},
+	}
+
+	fmt.Printf("identical stream of %d tasks (Cms=%g, Cps=%g, ~130%% aggregate load)\n\n",
+		len(stream), params.Cms, params.Cps)
+	fmt.Printf("%-24s %9s %9s %13s %11s\n", "fleet", "accepted", "rejected", "reject ratio", "spillovers")
+	for _, c := range candidates {
+		st, sp := replay(stream, c.opts...)
+		fmt.Printf("%-24s %9d %9d %13.4f %11d\n",
+			c.label, st.Accepts, st.Rejects, st.RejectRatio(), sp)
+	}
+	fmt.Println("\nSpillover retries each rejected task across the remaining shards")
+	fmt.Println("before giving a final reject — on this stream that rescues most of")
+	fmt.Println("what single-choice routing loses, while keeping K independent")
+	fmt.Println("schedulers behind one admission surface.")
+}

@@ -91,6 +91,13 @@ func (c *Cluster) AvailTimes() []float64 {
 	return out
 }
 
+// AvailInto appends the per-node release times to dst[:0] and returns the
+// result, so hot-path callers can reuse one scratch buffer across
+// snapshots instead of allocating a copy per call.
+func (c *Cluster) AvailInto(dst []float64) []float64 {
+	return append(dst[:0], c.avail...)
+}
+
 // AvailAt returns node id's committed release time.
 func (c *Cluster) AvailAt(id int) float64 { return c.avail[id] }
 

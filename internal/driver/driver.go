@@ -18,6 +18,7 @@ import (
 	"rtdls/internal/dlt"
 	"rtdls/internal/errs"
 	"rtdls/internal/multiround"
+	"rtdls/internal/pool"
 	"rtdls/internal/rt"
 	"rtdls/internal/service"
 	"rtdls/internal/sim"
@@ -71,6 +72,27 @@ type Config struct {
 	// HeteroSeed seeds the spread draw (independent of the workload Seed,
 	// so paired-seed runs share one cluster).
 	HeteroSeed uint64
+
+	// Shards splits the fleet into K independent clusters fronted by the
+	// Placement routing layer (see internal/pool). 0 or unset runs the
+	// classic single cluster; any shard option — including Shards=1 —
+	// routes through the pool engine instead. The workload's arrival rate
+	// scales with the pool's aggregate capacity so SystemLoad keeps its
+	// meaning (see runPool).
+	Shards int
+
+	// Placement routes each arrival to a shard; nil defaults to round
+	// robin. Parse names with pool.ParsePlacement.
+	Placement pool.Placement
+
+	// ShardNodes optionally sizes each shard individually (len fixes the
+	// shard count); unset shards copy N.
+	ShardNodes []int
+
+	// ShardNodeCosts optionally gives every shard its own explicit
+	// per-node cost table (len fixes the shard count); it overrides
+	// ShardNodes and the spread draw.
+	ShardNodeCosts [][]dlt.NodeCost
 
 	Observer rt.Observer // optional lifecycle hooks
 }
@@ -199,6 +221,17 @@ type Result struct {
 	ReservedIdleFrac float64 // wasted IIT node·time / (N × span), OPR only
 	MaxQueueLen      int
 	Span             float64 // max(horizon, last committed release)
+
+	// Shards is the number of clusters the run executed on (1 = the
+	// classic single cluster). The remaining fields are populated only for
+	// pool runs: Placement names the routing layer, Spillovers counts
+	// accepted tasks that needed at least one spillover retry, and
+	// ShardRejectRatios is each shard's own reject ratio (a spilled-over
+	// task counts at every shard that refused it).
+	Shards            int       `json:",omitempty"`
+	Placement         string    `json:",omitempty"`
+	Spillovers        int       `json:",omitempty"`
+	ShardRejectRatios []float64 `json:",omitempty"`
 }
 
 // PartitionerFor builds the partitioner named by algorithm through the
@@ -258,6 +291,9 @@ func (c Config) NewService(clock service.Clock) (*service.Service, error) {
 // events start due transmissions, and the Result is assembled from the
 // service's statistics.
 func Run(cfg Config) (*Result, error) {
+	if cfg.multiShard() {
+		return runPool(cfg)
+	}
 	s := sim.New()
 	svc, err := cfg.NewService(service.SimClock{Sim: s})
 	if err != nil {
@@ -368,6 +404,7 @@ func Run(cfg Config) (*Result, error) {
 		res.MaxLateness = 0
 	}
 	cl := svc.Cluster()
+	res.Shards = 1
 	res.Span = math.Max(cfg.Horizon, cl.LastRelease())
 	res.Utilization = cl.Utilization(res.Span)
 	res.ReservedIdleFrac = cl.ReservedIdle() / (float64(cfg.N) * res.Span)

@@ -134,7 +134,7 @@ func referenceRun(cfg Config) (*Result, error) {
 	res.Span = math.Max(cfg.Horizon, cl.LastRelease())
 	res.Utilization = cl.Utilization(res.Span)
 	res.ReservedIdleFrac = cl.ReservedIdle() / (float64(cfg.N) * res.Span)
-	res.MaxQueueLen = sched.MaxQueueLen()
+	res.MaxQueueLen = sched.Stats().MaxQueueLen
 	return res, nil
 }
 

@@ -1,0 +1,245 @@
+package driver
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"rtdls/internal/cluster"
+	"rtdls/internal/dlt"
+	"rtdls/internal/errs"
+	"rtdls/internal/pool"
+	"rtdls/internal/rt"
+	"rtdls/internal/service"
+	"rtdls/internal/sim"
+	"rtdls/internal/workload"
+)
+
+// multiShard reports whether the configuration describes a sharded pool
+// rather than the classic single cluster. Any shard option — including an
+// explicit Shards=1 or a placement — routes through the pool engine, whose
+// K=1 behaviour is property-tested to match the single cluster.
+func (c Config) multiShard() bool {
+	return c.Shards != 0 || len(c.ShardNodes) > 0 || len(c.ShardNodeCosts) > 0 || c.Placement != nil
+}
+
+// ShardPlan resolves the pool layout the configuration describes: the
+// shard count and one cost model per shard. Per-shard node counts
+// (ShardNodes) and explicit per-shard cost tables (ShardNodeCosts) both
+// fix the shard count; when only Shards is given, every shard is a copy
+// of the single-cluster configuration — except that a spread draw
+// (CmsSpread/CpsSpread) seeds shard j with HeteroSeed+j, so a fleet of
+// spread shards gets distinct tables while shard 0 reproduces the
+// single-cluster draw.
+func (c Config) ShardPlan() (int, []*dlt.CostModel, error) {
+	k := c.Shards
+	if k < 0 {
+		return 0, nil, fmt.Errorf("driver: negative shard count %d: %w", k, errs.ErrBadConfig)
+	}
+	if len(c.NodeCosts) > 0 && (len(c.ShardNodes) > 0 || len(c.ShardNodeCosts) > 0) {
+		// A single-cluster cost table cannot size individually-shaped
+		// shards; dropping it silently would simulate the wrong cost model.
+		return 0, nil, fmt.Errorf("driver: NodeCosts conflicts with per-shard sizing; give each shard its own table via ShardNodeCosts: %w", errs.ErrBadConfig)
+	}
+	if n := len(c.ShardNodeCosts); n > 0 {
+		if k != 0 && k != n {
+			return 0, nil, fmt.Errorf("driver: %d shard cost tables for Shards=%d: %w", n, k, errs.ErrBadConfig)
+		}
+		k = n
+	}
+	if n := len(c.ShardNodes); n > 0 {
+		if k != 0 && k != n {
+			return 0, nil, fmt.Errorf("driver: %d shard node counts for %d shards: %w", n, k, errs.ErrBadConfig)
+		}
+		k = n
+	}
+	if k == 0 {
+		k = 1
+	}
+	cms := make([]*dlt.CostModel, k)
+	for j := range cms {
+		var err error
+		if len(c.ShardNodeCosts) > 0 {
+			cms[j], err = dlt.NewCostModel(c.ShardNodeCosts[j])
+		} else {
+			cj := c
+			cj.Shards, cj.ShardNodes, cj.ShardNodeCosts, cj.Placement = 0, nil, nil, nil
+			if len(c.ShardNodes) > 0 {
+				cj.N = c.ShardNodes[j]
+			}
+			cj.HeteroSeed = c.HeteroSeed + uint64(j)
+			cms[j], err = cj.CostModel()
+		}
+		if err != nil {
+			return 0, nil, fmt.Errorf("driver: shard %d: %w", j, err)
+		}
+	}
+	return k, cms, nil
+}
+
+// NewPool assembles the sharded admission pool a multi-cluster run
+// executes against, sharing the given clock across every shard. It is the
+// pool analogue of Config.NewService.
+func (c Config) NewPool(clock service.Clock) (*pool.Pool, error) {
+	k, cms, err := c.ShardPlan()
+	if err != nil {
+		return nil, err
+	}
+	pol, err := rt.ParsePolicy(c.Policy)
+	if err != nil {
+		return nil, err
+	}
+	shards := make([]pool.ShardConfig, k)
+	for j := range shards {
+		part, err := PartitionerFor(c.Algorithm, c.Rounds, cms[j])
+		if err != nil {
+			return nil, err
+		}
+		cl, err := cluster.NewHetero(cms[j].Costs())
+		if err != nil {
+			return nil, err
+		}
+		shards[j] = pool.ShardConfig{Cluster: cl, Policy: pol, Partitioner: part, Observer: c.Observer}
+	}
+	return pool.New(pool.Config{Shards: shards, Placement: c.Placement, Clock: clock})
+}
+
+// shardExecTime returns E(σ, shard): the execution time of a load σ on the
+// whole shard, generalised to heterogeneous shard cost tables.
+func shardExecTime(cm *dlt.CostModel, sigma float64) (float64, error) {
+	if cm.Uniform() {
+		return cm.Reference().ExecTime(sigma, cm.N()), nil
+	}
+	return dlt.HeteroExecTime(cm.Costs(), sigma)
+}
+
+// runPool executes a multi-cluster simulation: one workload stream,
+// scaled to the pool's aggregate capacity, routed through the placement
+// layer onto K independent shards sharing the discrete-event clock.
+func runPool(cfg Config) (*Result, error) {
+	s := sim.New()
+	pl, err := cfg.NewPool(service.SimClock{Sim: s})
+	if err != nil {
+		return nil, err
+	}
+	k := pl.Shards()
+
+	// The workload keeps SystemLoad's meaning — the fraction of the fleet's
+	// aggregate capacity the stream offers: the single-cluster arrival rate
+	// SystemLoad/E(Avgσ, N) is multiplied by Σ_j E(Avgσ, N)/E(Avgσ, shard j)
+	// (= K for identical shards). The reference coefficients follow the
+	// single-cluster rule: scalar Cms/Cps unless explicit cost tables are
+	// given, in which case shard 0's table reference anchors it.
+	wp := cfg.Params()
+	if len(cfg.NodeCosts) > 0 || len(cfg.ShardNodeCosts) > 0 {
+		wp = pl.Shard(0).Cluster().Costs().Reference()
+	}
+	eRef := wp.ExecTime(cfg.AvgSigma, cfg.N)
+	scale := 0.0
+	for j := 0; j < k; j++ {
+		ej, err := shardExecTime(pl.Shard(j).Cluster().Costs(), cfg.AvgSigma)
+		if err != nil {
+			return nil, fmt.Errorf("driver: shard %d exec time: %w", j, err)
+		}
+		scale += eRef / ej
+	}
+	gen, err := workload.New(workload.Config{
+		N: cfg.N, Params: wp,
+		SystemLoad: cfg.SystemLoad * scale, AvgSigma: cfg.AvgSigma,
+		DCRatio: cfg.DCRatio, Horizon: cfg.Horizon, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		ctx          = context.Background()
+		commitHandle sim.Handle
+		runErr       error
+	)
+	fail := func(err error) {
+		if runErr == nil {
+			runErr = err
+		}
+	}
+	var rearmCommit func()
+	onCommit := func() {
+		if err := pl.CommitDue(s.Now()); err != nil {
+			fail(err)
+			return
+		}
+		rearmCommit()
+	}
+	rearmCommit = func() {
+		commitHandle.Cancel()
+		if at, ok := pl.NextCommit(); ok {
+			commitHandle = s.AtPrio(at, sim.PrioCommit, onCommit)
+		}
+	}
+	var onArrival func(t *rt.Task)
+	scheduleNext := func() {
+		if t, ok := gen.Next(); ok {
+			s.AtPrio(t.Arrival, sim.PrioArrival, func() { onArrival(t) })
+		}
+	}
+	onArrival = func(t *rt.Task) {
+		if _, err := pl.Submit(ctx, *t); err != nil {
+			fail(err)
+			return
+		}
+		rearmCommit()
+		scheduleNext()
+	}
+	scheduleNext()
+	for runErr == nil && s.Step() {
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	st := pl.Stats()
+	ex := pl.Exec()
+	res := &Result{
+		Config:      cfg,
+		Arrivals:    st.Arrivals,
+		Accepted:    st.Accepts,
+		Rejected:    st.Rejects,
+		Committed:   ex.Committed,
+		MaxLateness: ex.MaxLateness,
+		MaxQueueLen: st.MaxQueueLen,
+		Shards:      k,
+		Spillovers:  pl.Spillovers(),
+		Placement:   pl.Placement().Name(),
+	}
+	if st.QueueLen != 0 {
+		return nil, fmt.Errorf("driver: %d tasks still waiting after drain", st.QueueLen)
+	}
+	if res.Arrivals != res.Accepted+res.Rejected {
+		return nil, fmt.Errorf("driver: accounting mismatch: %d arrivals != %d accepted + %d rejected",
+			res.Arrivals, res.Accepted, res.Rejected)
+	}
+	if res.Committed != res.Accepted {
+		return nil, fmt.Errorf("driver: %d committed != %d accepted", res.Committed, res.Accepted)
+	}
+	if res.Arrivals > 0 {
+		res.RejectRatio = float64(res.Rejected) / float64(res.Arrivals)
+	}
+	if res.Committed > 0 {
+		res.MeanResponse = ex.RespSum / float64(res.Committed)
+		res.MeanEstSlack = ex.SlackSum / float64(res.Committed)
+		res.MeanNodes = float64(ex.NodeSum) / float64(res.Committed)
+	} else {
+		res.MaxLateness = 0
+	}
+	for _, ss := range pl.ShardStats() {
+		res.ShardRejectRatios = append(res.ShardRejectRatios, ss.RejectRatio())
+	}
+	totalN := 0
+	for _, cl := range pl.Clusters() {
+		totalN += cl.N()
+	}
+	res.Span = math.Max(cfg.Horizon, st.LastRelease)
+	res.Utilization = st.BusyTime / (float64(totalN) * res.Span)
+	res.ReservedIdleFrac = st.ReservedIdle / (float64(totalN) * res.Span)
+	return res, nil
+}

@@ -1,0 +1,181 @@
+package pool
+
+import (
+	"errors"
+	"testing"
+
+	"rtdls/internal/errs"
+	"rtdls/internal/rt"
+)
+
+func loads(queues ...int) []ShardLoad {
+	out := make([]ShardLoad, len(queues))
+	for i, q := range queues {
+		out[i] = ShardLoad{Shard: i, QueueLen: q, Nodes: 8}
+	}
+	return out
+}
+
+func TestRoundRobinOrder(t *testing.T) {
+	var rr RoundRobin
+	ls := loads(0, 0, 0)
+	for seq := uint64(0); seq < 7; seq++ {
+		got := rr.Order(nil, seq, ls, &rt.Task{})
+		if len(got) != 1 || got[0] != int(seq%3) {
+			t.Fatalf("seq %d: order = %v", seq, got)
+		}
+	}
+}
+
+func TestLeastLoadedOrder(t *testing.T) {
+	var ll LeastLoaded
+	if got := ll.Order(nil, 0, loads(3, 1, 2), &rt.Task{}); got[0] != 1 {
+		t.Fatalf("order = %v, want shard 1", got)
+	}
+	// Queue tie: prefer more nodes, then the lower index.
+	tied := []ShardLoad{{Shard: 0, QueueLen: 2, Nodes: 4}, {Shard: 1, QueueLen: 2, Nodes: 16}}
+	if got := ll.Order(nil, 0, tied, &rt.Task{}); got[0] != 1 {
+		t.Fatalf("node tiebreak: order = %v, want shard 1", got)
+	}
+	if got := ll.Order(nil, 0, loads(2, 2, 2), &rt.Task{}); got[0] != 0 {
+		t.Fatalf("index tiebreak: order = %v, want shard 0", got)
+	}
+}
+
+func TestPowerOfTwoChoicesOrder(t *testing.T) {
+	p := PowerOfTwoChoices{Seed: 42}
+	ls := loads(5, 0, 5, 5)
+	hits := map[int]int{}
+	for seq := uint64(0); seq < 200; seq++ {
+		got := p.Order(nil, seq, ls, &rt.Task{})
+		if len(got) != 1 || got[0] < 0 || got[0] >= len(ls) {
+			t.Fatalf("seq %d: order = %v", seq, got)
+		}
+		hits[got[0]]++
+		// Deterministic: the same (seed, seq) always picks the same shard.
+		if again := p.Order(nil, seq, ls, &rt.Task{}); again[0] != got[0] {
+			t.Fatalf("seq %d not deterministic: %v then %v", seq, got, again)
+		}
+	}
+	// The idle shard wins every pair it appears in: ~2/k of draws ≈ 100.
+	if hits[1] < 60 {
+		t.Fatalf("idle shard picked only %d/200 times: %v", hits[1], hits)
+	}
+	// Single shard degenerates cleanly.
+	if got := p.Order(nil, 9, loads(1), &rt.Task{}); got[0] != 0 {
+		t.Fatalf("k=1 order = %v", got)
+	}
+}
+
+func TestSpilloverOrder(t *testing.T) {
+	s := Spillover{Inner: LeastLoaded{}}
+	got := s.Order(nil, 0, loads(3, 1, 2, 0), &rt.Task{})
+	// Inner pick (shard 3, empty) first, then the rest least-loaded first.
+	want := []int{3, 1, 2, 0}
+	if len(got) != len(want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	// Spillover over round robin keeps the rotation as the first pick.
+	srr := Spillover{Inner: RoundRobin{}}
+	got = srr.Order(nil, 2, loads(0, 0, 0), &rt.Task{})
+	if got[0] != 2 || len(got) != 3 {
+		t.Fatalf("spillover-rr order = %v", got)
+	}
+}
+
+// emptyInner is a degenerate custom placement that never picks a shard.
+type emptyInner struct{}
+
+func (emptyInner) Name() string { return "empty" }
+func (emptyInner) Order(dst []int, _ uint64, _ []ShardLoad, _ *rt.Task) []int {
+	return dst
+}
+
+// pairInner picks the two highest-indexed shards, testing a multi-pick
+// inner placement.
+type pairInner struct{}
+
+func (pairInner) Name() string { return "pair" }
+func (pairInner) Order(dst []int, _ uint64, loads []ShardLoad, _ *rt.Task) []int {
+	return append(dst, len(loads)-1, len(loads)-2)
+}
+
+func TestSpilloverToleratesDegenerateInner(t *testing.T) {
+	// An inner placement returning no shard must not panic; the order
+	// degrades to every shard from least to most loaded.
+	s := Spillover{Inner: emptyInner{}}
+	got := s.Order(nil, 0, loads(3, 1, 2, 0), &rt.Task{})
+	want := []int{3, 1, 2, 0}
+	if len(got) != len(want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	// A multi-pick inner keeps its picks first, and none of them is
+	// offered twice.
+	p := Spillover{Inner: pairInner{}}
+	got = p.Order(nil, 0, loads(3, 1, 2, 0), &rt.Task{})
+	want = []int{3, 2, 1, 0}
+	if len(got) != len(want) {
+		t.Fatalf("pair order = %v, want %v", got, want)
+	}
+	seen := map[int]bool{}
+	for i := range want {
+		if got[i] != want[i] || seen[got[i]] {
+			t.Fatalf("pair order = %v, want %v", got, want)
+		}
+		seen[got[i]] = true
+	}
+}
+
+func TestLoadAwareDeclarations(t *testing.T) {
+	// RoundRobin declares it never reads the load signal (the pool skips
+	// the per-shard sampling sweep for it); the load-driven placements
+	// must not declare load-freedom.
+	if la, ok := Placement(RoundRobin{}).(LoadAware); !ok || la.NeedsLoads() {
+		t.Fatal("RoundRobin must report NeedsLoads() == false")
+	}
+	for _, p := range []Placement{LeastLoaded{}, PowerOfTwoChoices{}, Spillover{}, Spillover{Inner: RoundRobin{}}} {
+		if la, ok := p.(LoadAware); ok && !la.NeedsLoads() {
+			t.Fatalf("%s reads loads but reports NeedsLoads() == false", p.Name())
+		}
+	}
+}
+
+func TestParsePlacement(t *testing.T) {
+	cases := map[string]string{
+		"round-robin":   "round-robin",
+		"rr":            "round-robin",
+		"":              "round-robin",
+		"least-loaded":  "least-loaded",
+		"ll":            "least-loaded",
+		"power-of-two":  "power-of-two",
+		"p2c":           "power-of-two",
+		"spillover":     "spillover(least-loaded)",
+		"spillover-rr":  "spillover(round-robin)",
+		"spillover-p2c": "spillover(power-of-two)",
+	}
+	for in, want := range cases {
+		p, err := ParsePlacement(in, 1)
+		if err != nil {
+			t.Fatalf("ParsePlacement(%q): %v", in, err)
+		}
+		if p.Name() != want {
+			t.Fatalf("ParsePlacement(%q).Name() = %q, want %q", in, p.Name(), want)
+		}
+	}
+	if _, err := ParsePlacement("bogus", 1); !errors.Is(err, errs.ErrBadConfig) {
+		t.Fatalf("err = %v, want ErrBadConfig", err)
+	}
+	if len(Placements()) != 6 {
+		t.Fatalf("Placements() = %v", Placements())
+	}
+}

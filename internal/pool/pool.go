@@ -1,0 +1,370 @@
+// Package pool shards the admission-control service across K independent
+// clusters with a pluggable placement layer in front — the architecture of
+// multi-source divisible-load systems (Wu/Cao/Robertazzi): several
+// independently-fed clusters, each with its own scheduler and lock, and a
+// routing decision deciding which cluster is offered each arriving task.
+//
+// A Pool owns K service.Service shards that share one Clock and one event
+// Bus (events and decisions are shard-tagged), while every shard keeps its
+// own cluster.Cluster, rt.Scheduler and commit pump. Submissions from any
+// number of goroutines therefore contend only on the shard they are placed
+// on, never on a pool-global lock — Submit throughput scales with the
+// shard count instead of serialising on one O(queue × plan) replan.
+//
+// The single-cluster Service is exactly the K=1 special case: a one-shard
+// pool under any placement reproduces it decision for decision, stat for
+// stat.
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"rtdls/internal/cluster"
+	"rtdls/internal/errs"
+	"rtdls/internal/rt"
+	"rtdls/internal/service"
+)
+
+// ShardConfig assembles one shard: its cluster substrate, execution-order
+// policy and partitioning module. Cluster and Partitioner are mandatory.
+type ShardConfig struct {
+	Cluster     *cluster.Cluster
+	Policy      rt.Policy
+	Partitioner rt.Partitioner
+
+	// MaxQueue bounds the shard's waiting queue (0 = unbounded); a full
+	// shard refuses with ErrClusterBusy, which a Spillover placement
+	// retries elsewhere.
+	MaxQueue int
+
+	// Observer optionally receives the shard's legacy lifecycle callbacks.
+	Observer rt.Observer
+}
+
+// Config assembles a Pool.
+type Config struct {
+	// Shards configures the member clusters; at least one is required.
+	// Shards may differ in size, cost model, policy and partitioner — a
+	// heterogeneous fleet of clusters.
+	Shards []ShardConfig
+
+	// Placement routes each submission; nil defaults to RoundRobin.
+	Placement Placement
+
+	// Clock is shared by every shard; nil defaults to a ManualClock at 0.
+	Clock service.Clock
+}
+
+// Pool is the sharded, concurrency-safe admission-control engine. It
+// implements the same Engine surface as a single service.Service; see the
+// package comment for the architecture.
+type Pool struct {
+	shards []*service.Service
+	place  Placement
+	clock  service.Clock
+	bus    *service.Bus
+	nodes  []int // per-shard cluster sizes
+	total  int   // Σ nodes
+
+	needLoads bool // placement reads QueueLen (see LoadAware)
+
+	seq        atomic.Uint64 // submission sequence (placement input)
+	arrivals   atomic.Int64  // pool-level decisions (a spillover retry is one arrival)
+	accepts    atomic.Int64
+	rejects    atomic.Int64
+	spillovers atomic.Int64 // accepts that needed at least one retry
+	closed     atomic.Bool
+
+	scratch sync.Pool // *placeScratch, reused across submissions
+}
+
+type placeScratch struct {
+	loads []ShardLoad
+	order []int
+}
+
+var _ service.Engine = (*Pool)(nil)
+
+// New validates the configuration and returns a ready pool.
+func New(cfg Config) (*Pool, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("pool: need at least one shard: %w", errs.ErrBadConfig)
+	}
+	place := cfg.Placement
+	if place == nil {
+		place = RoundRobin{}
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = service.NewManualClock(0)
+	}
+	p := &Pool{
+		place:  place,
+		clock:  clock,
+		bus:    service.NewBus(),
+		shards: make([]*service.Service, 0, len(cfg.Shards)),
+		nodes:  make([]int, 0, len(cfg.Shards)),
+	}
+	for i, sc := range cfg.Shards {
+		sh, err := service.New(service.Config{
+			Cluster:     sc.Cluster,
+			Policy:      sc.Policy,
+			Partitioner: sc.Partitioner,
+			Clock:       clock,
+			Observer:    sc.Observer,
+			MaxQueue:    sc.MaxQueue,
+			Shard:       i,
+			Bus:         p.bus,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("pool: shard %d: %w", i, err)
+		}
+		p.shards = append(p.shards, sh)
+		p.nodes = append(p.nodes, sc.Cluster.N())
+		p.total += sc.Cluster.N()
+	}
+	p.needLoads = true
+	if la, ok := place.(LoadAware); ok {
+		p.needLoads = la.NeedsLoads()
+	}
+	k := len(cfg.Shards)
+	p.scratch.New = func() any {
+		sc := &placeScratch{loads: make([]ShardLoad, k), order: make([]int, 0, k)}
+		for i := range sc.loads {
+			sc.loads[i] = ShardLoad{Shard: i, Nodes: p.nodes[i]}
+		}
+		return sc
+	}
+	return p, nil
+}
+
+// Shards returns the number of member clusters.
+func (p *Pool) Shards() int { return len(p.shards) }
+
+// Shard returns shard i's service (for per-shard inspection).
+func (p *Pool) Shard(i int) *service.Service { return p.shards[i] }
+
+// Placement returns the routing layer.
+func (p *Pool) Placement() Placement { return p.place }
+
+// Clock returns the clock shared by every shard.
+func (p *Pool) Clock() service.Clock { return p.clock }
+
+// Clusters returns every shard's cluster, indexed by shard.
+func (p *Pool) Clusters() []*cluster.Cluster {
+	out := make([]*cluster.Cluster, len(p.shards))
+	for i, sh := range p.shards {
+		out[i] = sh.Cluster()
+	}
+	return out
+}
+
+// Spillovers returns how many accepted tasks needed at least one
+// spillover retry (0 under single-choice placements).
+func (p *Pool) Spillovers() int { return int(p.spillovers.Load()) }
+
+// Submit routes the task through the placement layer and runs the
+// admission test on the chosen shard. Under a spillover placement a
+// rejected task is retried down the preference order until a shard
+// accepts or every listed shard has refused; the returned decision
+// reports the placing shard in Decision.Shard. The error return reports
+// malformed input, a cancelled context or a closed pool — never
+// infeasibility.
+func (p *Pool) Submit(ctx context.Context, task rt.Task) (service.Decision, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return service.Decision{}, err
+		}
+	}
+	if p.closed.Load() {
+		return service.Decision{}, fmt.Errorf("pool: closed: %w", errs.ErrClusterBusy)
+	}
+	seq := p.seq.Add(1) - 1
+
+	sc := p.scratch.Get().(*placeScratch)
+	defer p.scratch.Put(sc)
+	if p.needLoads {
+		// Shard and Nodes are constant and prefilled when the scratch is
+		// created; only the queue lengths need a fresh sample.
+		for i, sh := range p.shards {
+			sc.loads[i].QueueLen = sh.QueueLen()
+		}
+	}
+	order := p.place.Order(sc.order[:0], seq, sc.loads, &task)
+	sc.order = order[:0]
+	if len(order) == 0 {
+		return service.Decision{}, fmt.Errorf("pool: placement %s returned no shard: %w", p.place.Name(), errs.ErrBadConfig)
+	}
+
+	var last service.Decision
+	for attempt, idx := range order {
+		if idx < 0 || idx >= len(p.shards) {
+			return service.Decision{}, fmt.Errorf("pool: placement %s picked shard %d of %d: %w",
+				p.place.Name(), idx, len(p.shards), errs.ErrBadConfig)
+		}
+		d, err := p.shards[idx].Submit(ctx, task)
+		if err != nil {
+			return d, err
+		}
+		if d.Accepted {
+			p.arrivals.Add(1)
+			p.accepts.Add(1)
+			if attempt > 0 {
+				p.spillovers.Add(1)
+			}
+			return d, nil
+		}
+		last = d
+		if errors.Is(d.Reason, errs.ErrDeadlinePast) {
+			// The deadline has passed on the shared clock: no shard can
+			// take it, so spilling over is pointless.
+			break
+		}
+	}
+	p.arrivals.Add(1)
+	p.rejects.Add(1)
+	return last, nil
+}
+
+// SubmitBatch submits several tasks in order, returning one decision per
+// considered task. Unlike a single service, the batch is not atomic
+// pool-wide: each task is placed and tested individually, so concurrent
+// submitters may interleave between them. On a hard error the decisions
+// made so far are returned alongside it.
+func (p *Pool) SubmitBatch(ctx context.Context, tasks []rt.Task) ([]service.Decision, error) {
+	decisions := make([]service.Decision, 0, len(tasks))
+	for _, t := range tasks {
+		d, err := p.Submit(ctx, t)
+		if err != nil {
+			return decisions, err
+		}
+		decisions = append(decisions, d)
+	}
+	return decisions, nil
+}
+
+// Subscribe attaches a consumer to the pool-wide event stream: one merged,
+// shard-tagged sequence over all shards. The returned cancel function
+// detaches it and closes the channel.
+func (p *Pool) Subscribe(buffer int) (<-chan Event, func()) {
+	return p.bus.Subscribe(buffer)
+}
+
+// Event re-exports the service event type for pool subscribers.
+type Event = service.Event
+
+// Stats returns the pool-wide aggregate of every shard's snapshot:
+// admission counters from the pool's final decisions (a task spilled over
+// N shards counts once, not N times), capacity accounting summed over the
+// shards, MaxQueueLen as the sum of per-shard peaks (an upper bound on the
+// peak total), and Utilization over the combined node count. Per-shard
+// views come from ShardStats.
+func (p *Pool) Stats() service.Stats {
+	now := p.clock.Now()
+	agg := service.Stats{
+		Time:     now,
+		Arrivals: int(p.arrivals.Load()),
+		Accepts:  int(p.accepts.Load()),
+		Rejects:  int(p.rejects.Load()),
+	}
+	for _, sh := range p.shards {
+		st := sh.Stats()
+		agg.Commits += st.Commits
+		agg.QueueLen += st.QueueLen
+		agg.MaxQueueLen += st.MaxQueueLen
+		agg.BusyTime += st.BusyTime
+		agg.ReservedIdle += st.ReservedIdle
+		if st.LastRelease > agg.LastRelease {
+			agg.LastRelease = st.LastRelease
+		}
+	}
+	if span := math.Max(now, agg.LastRelease); span > 0 {
+		agg.Utilization = agg.BusyTime / (float64(p.total) * span)
+	}
+	agg.EventsDropped = p.bus.DroppedTotal()
+	return agg
+}
+
+// ShardStats returns every shard's own snapshot, indexed by shard. Note
+// that shard-level Arrivals/Rejects count what the shard saw — under a
+// spillover placement a retried task appears on every shard that refused
+// it. EventsDropped is bus-wide (the shards share one bus).
+func (p *Pool) ShardStats() []service.Stats {
+	out := make([]service.Stats, len(p.shards))
+	for i, sh := range p.shards {
+		out[i] = sh.Stats()
+	}
+	return out
+}
+
+// Exec returns the execution metrics of committed plans aggregated over
+// all shards.
+func (p *Pool) Exec() service.ExecStats {
+	agg := service.ExecStats{MaxLateness: math.Inf(-1)}
+	for _, sh := range p.shards {
+		ex := sh.Exec()
+		agg.Committed += ex.Committed
+		agg.RespSum += ex.RespSum
+		agg.SlackSum += ex.SlackSum
+		agg.NodeSum += ex.NodeSum
+		if ex.MaxLateness > agg.MaxLateness {
+			agg.MaxLateness = ex.MaxLateness
+		}
+	}
+	return agg
+}
+
+// NextCommit returns the earliest pending first-transmission time across
+// all shards, or ok=false when every waiting queue is empty.
+func (p *Pool) NextCommit() (at float64, ok bool) {
+	at = math.Inf(1)
+	for _, sh := range p.shards {
+		if t, has := sh.NextCommit(); has && t < at {
+			at = t
+		}
+	}
+	return at, !math.IsInf(at, 1)
+}
+
+// CommitDue starts every transmission due at the given time on every
+// shard.
+func (p *Pool) CommitDue(now float64) error {
+	for i, sh := range p.shards {
+		if err := sh.CommitDue(now); err != nil {
+			return fmt.Errorf("pool: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Pump commits everything due at the current clock reading.
+func (p *Pool) Pump() error { return p.CommitDue(p.clock.Now()) }
+
+// Drain commits every remaining waiting plan on every shard regardless of
+// the clock — the shutdown/flush path.
+func (p *Pool) Drain() error {
+	for i, sh := range p.shards {
+		if err := sh.Drain(); err != nil {
+			return fmt.Errorf("pool: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Close marks the pool closed — subsequent submissions fail with
+// ErrClusterBusy — closes every shard and then the shared event bus.
+// Waiting plans are not committed; call Drain first to flush them. Close
+// is idempotent.
+func (p *Pool) Close() error {
+	p.closed.Store(true)
+	for _, sh := range p.shards {
+		sh.Close() //nolint:errcheck // always nil; bus ownership is the pool's
+	}
+	p.bus.Close()
+	return nil
+}

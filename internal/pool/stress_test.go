@@ -1,0 +1,147 @@
+package pool_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"rtdls/internal/cluster"
+	"rtdls/internal/dlt"
+	"rtdls/internal/pool"
+	"rtdls/internal/rt"
+	"rtdls/internal/service"
+	"rtdls/internal/verify"
+)
+
+// TestPoolConcurrentSubmitRace is the pool's -race acceptance stress
+// test: many goroutines submit through a spillover placement (so retries
+// cross shard locks), decision totals must reconcile with pool and shard
+// stats, and an independent verifier per shard re-checks every commitment
+// (no node overlap, Theorem-4 safety, no deadline misses).
+func TestPoolConcurrentSubmitRace(t *testing.T) {
+	const (
+		k       = 4
+		n       = 8
+		workers = 10
+		each    = 120
+	)
+	params := dlt.Params{Cms: 1, Cps: 100}
+	checkers := make([]*verify.Checker, k)
+	shards := make([]pool.ShardConfig, k)
+	for i := range shards {
+		cl, err := cluster.New(n, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkers[i] = verify.NewChecker(params, n)
+		shards[i] = pool.ShardConfig{
+			Cluster:     cl,
+			Policy:      rt.EDF,
+			Partitioner: rt.IITDLT{},
+			Observer:    checkers[i],
+		}
+	}
+	p, err := pool.New(pool.Config{Shards: shards, Placement: pool.Spillover{Inner: pool.PowerOfTwoChoices{Seed: 7}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	events, cancelSub := p.Subscribe(1 << 15)
+	streamed := make(chan map[service.EventKind]int, 1)
+	go func() {
+		counts := make(map[service.EventKind]int)
+		for ev := range events {
+			if ev.Shard < 0 || ev.Shard >= k {
+				t.Errorf("event with shard %d", ev.Shard)
+			}
+			counts[ev.Kind]++
+		}
+		streamed <- counts
+	}()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		accepted int
+		rejected int
+	)
+	ctx := context.Background()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			la, lr := 0, 0
+			for i := 0; i < each; i++ {
+				id := int64(w*each + i + 1)
+				dec, err := p.Submit(ctx, rt.Task{
+					ID:          id,
+					Sigma:       20 + float64((id*37)%400),
+					RelDeadline: 1500 + float64((id*91)%8000),
+				})
+				if err != nil {
+					t.Errorf("worker %d task %d: %v", w, id, err)
+					return
+				}
+				if dec.Accepted {
+					if dec.Shard < 0 || dec.Shard >= k {
+						t.Errorf("task %d placed on shard %d", id, dec.Shard)
+					}
+					la++
+				} else {
+					lr++
+				}
+			}
+			mu.Lock()
+			accepted += la
+			rejected += lr
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	if err := p.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	p.Close()
+	cancelSub()
+	counts := <-streamed
+
+	if st.Arrivals != workers*each {
+		t.Fatalf("arrivals = %d, want %d", st.Arrivals, workers*each)
+	}
+	if accepted+rejected != st.Arrivals || st.Accepts != accepted || st.Rejects != rejected {
+		t.Fatalf("decision totals %d+%d disagree with stats %+v", accepted, rejected, st)
+	}
+	if st.Commits != st.Accepts || st.QueueLen != 0 {
+		t.Fatalf("drain incomplete: %+v", st)
+	}
+	shardAccepts := 0
+	for i, ss := range p.ShardStats() {
+		shardAccepts += ss.Accepts
+		if ss.Commits != ss.Accepts {
+			t.Fatalf("shard %d: %d commits != %d accepts", i, ss.Commits, ss.Accepts)
+		}
+	}
+	if shardAccepts != st.Accepts {
+		t.Fatalf("shard accepts %d != pool accepts %d", shardAccepts, st.Accepts)
+	}
+	if st.EventsDropped == 0 {
+		// Spillover retries add shard-level reject events, so the stream
+		// carries at least one event per pool decision plus one per commit.
+		total := counts[service.EventAccept] + counts[service.EventReject] + counts[service.EventCommit]
+		if want := st.Accepts + st.Rejects + st.Commits; total < want {
+			t.Fatalf("stream saw %d events, want at least %d", total, want)
+		}
+		if counts[service.EventAccept] != st.Accepts || counts[service.EventCommit] != st.Commits {
+			t.Fatalf("stream counts %v disagree with stats %+v", counts, st)
+		}
+	}
+	for i, chk := range checkers {
+		if !chk.OK() {
+			t.Fatalf("shard %d verifier found violations:\n%s", i, chk.Report())
+		}
+	}
+	if st.Utilization < 0 || st.Utilization > 1 {
+		t.Fatalf("utilization = %v", st.Utilization)
+	}
+}

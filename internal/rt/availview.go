@@ -2,7 +2,7 @@ package rt
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // AvailView is a mutable view of per-node release times used while running
@@ -13,46 +13,121 @@ import (
 // Earliest returns the k nodes that become available soonest — the
 // "identify the earliest time t when AN(t) ≥ n" step of Fig. 2 generalised
 // to per-node release times.
+//
+// The view is built for reuse on the admission hot path: Reset re-points it
+// at a fresh snapshot without reallocating, and Apply repairs the sorted
+// order incrementally (only the re-timed nodes are re-inserted) instead of
+// re-sorting all N nodes after every tentative assignment.
 type AvailView struct {
 	times []float64 // per node id
 	order []int     // node ids sorted by (times, id)
 	srt   []float64 // times in sorted order, parallel to order
-	dirty bool
+	dirty []int     // node ids re-timed since the last sort
+	mark  []bool    // per node id: whether it is queued in dirty
+	full  bool      // a full re-sort is required (fresh snapshot)
 }
 
 // NewAvailView wraps the given per-node release times. The slice is owned
 // by the view afterwards.
 func NewAvailView(times []float64) *AvailView {
-	v := &AvailView{
-		times: times,
-		order: make([]int, len(times)),
-		srt:   make([]float64, len(times)),
-		dirty: true,
-	}
+	v := &AvailView{}
+	v.Reset(times)
 	return v
+}
+
+// Reset re-points the view at a new per-node release-time snapshot, reusing
+// the internal sort buffers. The slice is owned by the view afterwards.
+func (v *AvailView) Reset(times []float64) {
+	v.times = times
+	n := len(times)
+	if cap(v.order) < n {
+		v.order = make([]int, n)
+		v.srt = make([]float64, n)
+		v.mark = make([]bool, n)
+	} else {
+		v.order = v.order[:n]
+		v.srt = v.srt[:n]
+		v.mark = v.mark[:n]
+		clear(v.mark)
+	}
+	v.dirty = v.dirty[:0]
+	v.full = true
 }
 
 // N returns the number of nodes.
 func (v *AvailView) N() int { return len(v.times) }
 
+// before reports whether node a (at time ta) sorts before node b (at tb)
+// under the view's total order (time, id) — the single comparison both the
+// full sort and the incremental repair use, so they agree bit for bit.
+func before(ta float64, a int, tb float64, b int) bool {
+	if ta != tb {
+		return ta < tb
+	}
+	return a < b
+}
+
 func (v *AvailView) ensureSorted() {
-	if !v.dirty {
+	n := len(v.times)
+	// A repair that would move a large fraction of the nodes costs more
+	// than re-sorting outright.
+	if !v.full && len(v.dirty)*4 >= n {
+		v.full = true
+	}
+	if v.full {
+		for i := range v.order {
+			v.order[i] = i
+		}
+		slices.SortFunc(v.order, func(a, b int) int {
+			if before(v.times[a], a, v.times[b], b) {
+				return -1
+			}
+			return 1
+		})
+		for i, id := range v.order {
+			v.srt[i] = v.times[id]
+		}
+		for _, id := range v.dirty {
+			v.mark[id] = false
+		}
+		v.dirty = v.dirty[:0]
+		v.full = false
 		return
 	}
-	for i := range v.order {
-		v.order[i] = i
+	if len(v.dirty) == 0 {
+		return
 	}
-	sort.Slice(v.order, func(a, b int) bool {
-		ia, ib := v.order[a], v.order[b]
-		if v.times[ia] != v.times[ib] {
-			return v.times[ia] < v.times[ib]
+	// Incremental repair: compact the untouched ids (their relative order is
+	// unchanged), then re-insert each re-timed id at its new position. The
+	// (time, id) order is total, so this reproduces the full sort exactly.
+	w := 0
+	for r, id := range v.order {
+		if v.mark[id] {
+			continue
 		}
-		return ia < ib
-	})
-	for i, id := range v.order {
-		v.srt[i] = v.times[id]
+		v.order[w] = id
+		v.srt[w] = v.srt[r]
+		w++
 	}
-	v.dirty = false
+	for _, id := range v.dirty {
+		t := v.times[id]
+		lo, hi := 0, w
+		for lo < hi {
+			m := int(uint(lo+hi) >> 1)
+			if before(v.srt[m], v.order[m], t, id) {
+				lo = m + 1
+			} else {
+				hi = m
+			}
+		}
+		copy(v.order[lo+1:w+1], v.order[lo:w])
+		copy(v.srt[lo+1:w+1], v.srt[lo:w])
+		v.order[lo] = id
+		v.srt[lo] = t
+		v.mark[id] = false
+		w++
+	}
+	v.dirty = v.dirty[:0]
 }
 
 // Earliest returns the ids and release times of the k earliest-available
@@ -75,8 +150,11 @@ func (v *AvailView) Apply(ids []int, release []float64) {
 	}
 	for i, id := range ids {
 		v.times[id] = release[i]
+		if !v.full && !v.mark[id] {
+			v.mark[id] = true
+			v.dirty = append(v.dirty, id)
+		}
 	}
-	v.dirty = true
 }
 
 // Times returns the underlying per-node release times (not a copy).

@@ -15,6 +15,7 @@ func benchSubmit(b *testing.B, part Partitioner, pol Policy) {
 	}
 	s := NewScheduler(cl, pol, part)
 	now := 0.0
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		task := &Task{

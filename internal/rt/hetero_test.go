@@ -183,17 +183,17 @@ func TestHeteroSchedulerDrain(t *testing.T) {
 		}
 		now += 400
 	}
-	for s.QueueLen() > 0 {
+	for s.Stats().QueueLen > 0 {
 		at, ok := s.NextCommit()
 		if !ok {
-			t.Fatalf("%d tasks stuck without a commit time", s.QueueLen())
+			t.Fatalf("%d tasks stuck without a commit time", s.Stats().QueueLen)
 		}
 		now = math.Max(now, at)
 		if _, err := s.CommitDue(now); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if s.Commits() != s.Accepts() {
-		t.Fatalf("%d commits != %d accepts", s.Commits(), s.Accepts())
+	if st := s.Stats(); st.Commits != st.Accepts {
+		t.Fatalf("%d commits != %d accepts", st.Commits, st.Accepts)
 	}
 }

@@ -39,6 +39,16 @@ type Scheduler struct {
 	waiting []*Task         // admitted, not yet committed; in policy order
 	plans   map[int64]*Plan // current feasible schedule for waiting tasks
 
+	// Scratch state reused across submissions so the admission hot path
+	// allocates only what the accepted plans themselves need. scratch and
+	// waiting are double-buffered (never share a backing array); spare and
+	// plans likewise.
+	scratch  []*Task
+	spare    map[int64]*Plan
+	view     *AvailView
+	availBuf []float64
+	pctx     PlanContext
+
 	arrivals int
 	accepts  int
 	rejects  int
@@ -62,6 +72,7 @@ func NewScheduler(cl *cluster.Cluster, pol Policy, part Partitioner) *Scheduler 
 		pol:   pol,
 		part:  part,
 		plans: make(map[int64]*Plan),
+		spare: make(map[int64]*Plan),
 	}
 }
 
@@ -102,8 +113,9 @@ func (s *Scheduler) Submit(t *Task, now float64) (accepted bool, err error) {
 	}
 	s.arrivals++
 
-	// TempTaskList ← NewTask + TaskWaitingQueue, ordered by the policy.
-	cand := make([]*Task, 0, len(s.waiting)+1)
+	// TempTaskList ← NewTask + TaskWaitingQueue, ordered by the policy. The
+	// candidate list is a scratch buffer double-buffered against waiting.
+	cand := s.scratch[:0]
 	inserted := false
 	for _, w := range s.waiting {
 		if !inserted && s.pol.Less(t, w) {
@@ -115,31 +127,52 @@ func (s *Scheduler) Submit(t *Task, now float64) (accepted bool, err error) {
 	if !inserted {
 		cand = append(cand, t)
 	}
+	s.scratch = cand
 
-	view := NewAvailView(s.cl.AvailTimes())
-	ctx := &PlanContext{P: s.cl.Params(), N: s.cl.N(), Now: now, View: view, Costs: s.cl.Costs()}
-	newPlans := make(map[int64]*Plan, len(cand))
+	s.availBuf = s.cl.AvailInto(s.availBuf)
+	if s.view == nil {
+		s.view = NewAvailView(s.availBuf)
+	} else {
+		s.view.Reset(s.availBuf)
+	}
+	view := s.view
+	s.pctx = PlanContext{P: s.cl.Params(), N: s.cl.N(), Now: now, View: view, Costs: s.cl.Costs()}
+	newPlans := s.spare
+	discard := func() {
+		clear(newPlans)
+		clear(cand)
+	}
 	for _, ti := range cand {
-		pl, perr := s.part.Plan(ctx, ti)
+		pl, perr := s.part.Plan(&s.pctx, ti)
 		if perr != nil {
 			if errors.Is(perr, ErrInfeasible) {
 				s.reject(now, t)
+				discard()
 				return false, nil
 			}
+			discard()
 			return false, perr
 		}
 		absD := ti.AbsDeadline()
 		if pl.Est > absD+deadlineEps(absD) {
 			s.reject(now, t)
+			discard()
 			return false, nil
 		}
 		view.Apply(pl.Nodes, pl.Release)
 		newPlans[ti.ID] = pl
 	}
 
-	// All tasks in the cluster are schedulable: accept TempSchedule.
+	// All tasks in the cluster are schedulable: accept TempSchedule. The
+	// previous waiting slice and plan map become the next scratch buffers.
+	old := s.waiting
 	s.waiting = cand
+	clear(old)
+	s.scratch = old
+	oldPlans := s.plans
 	s.plans = newPlans
+	clear(oldPlans)
+	s.spare = oldPlans
 	s.accepts++
 	if len(s.waiting) > s.maxQueue {
 		s.maxQueue = len(s.waiting)
@@ -204,6 +237,9 @@ func (s *Scheduler) CommitDue(now float64) ([]*Plan, error) {
 		}
 		rest = append(rest, w)
 	}
+	// Drop the stale tail references left behind by the in-place filter.
+	tail := s.waiting[len(rest):]
+	clear(tail)
 	s.waiting = rest
 	return out, nil
 }
@@ -248,39 +284,3 @@ func (s *Scheduler) Stats() Stats {
 		MaxQueueLen: s.maxQueue,
 	}
 }
-
-// QueueLen returns the number of admitted-but-uncommitted tasks.
-//
-// Deprecated: use Stats for a consistent snapshot of all counters.
-func (s *Scheduler) QueueLen() int { return s.Stats().QueueLen }
-
-// MaxQueueLen returns the largest waiting-queue length observed.
-//
-// Deprecated: use Stats for a consistent snapshot of all counters.
-func (s *Scheduler) MaxQueueLen() int { return s.Stats().MaxQueueLen }
-
-// Arrivals returns the number of submitted tasks.
-//
-// Deprecated: use Stats for a consistent snapshot of all counters.
-func (s *Scheduler) Arrivals() int { return s.Stats().Arrivals }
-
-// Accepts returns the number of admitted tasks.
-//
-// Deprecated: use Stats for a consistent snapshot of all counters.
-func (s *Scheduler) Accepts() int { return s.Stats().Accepts }
-
-// Rejects returns the number of rejected tasks.
-//
-// Deprecated: use Stats for a consistent snapshot of all counters.
-func (s *Scheduler) Rejects() int { return s.Stats().Rejects }
-
-// Commits returns the number of committed (started) tasks.
-//
-// Deprecated: use Stats for a consistent snapshot of all counters.
-func (s *Scheduler) Commits() int { return s.Stats().Commits }
-
-// RejectRatio returns rejects/arrivals, the paper's evaluation metric
-// (0 when nothing has arrived).
-//
-// Deprecated: use Stats().RejectRatio().
-func (s *Scheduler) RejectRatio() float64 { return s.Stats().RejectRatio() }

@@ -23,11 +23,11 @@ func TestSubmitAcceptsFeasibleTask(t *testing.T) {
 	if err != nil || !ok {
 		t.Fatalf("Submit = %v, %v", ok, err)
 	}
-	if s.Arrivals() != 1 || s.Accepts() != 1 || s.Rejects() != 0 {
-		t.Fatalf("counters: %d/%d/%d", s.Arrivals(), s.Accepts(), s.Rejects())
+	if st := s.Stats(); st.Arrivals != 1 || st.Accepts != 1 || st.Rejects != 0 {
+		t.Fatalf("counters: %d/%d/%d", st.Arrivals, st.Accepts, st.Rejects)
 	}
-	if s.QueueLen() != 1 {
-		t.Fatalf("QueueLen = %d", s.QueueLen())
+	if st := s.Stats(); st.QueueLen != 1 {
+		t.Fatalf("QueueLen = %d", st.QueueLen)
 	}
 	if pl := s.PlanFor(1); pl == nil || pl.Task.ID != 1 {
 		t.Fatalf("PlanFor(1) = %v", pl)
@@ -44,11 +44,11 @@ func TestSubmitRejectsInfeasibleTask(t *testing.T) {
 	if ok {
 		t.Fatalf("infeasible task accepted")
 	}
-	if s.Rejects() != 1 || s.QueueLen() != 0 {
-		t.Fatalf("rejects=%d queue=%d", s.Rejects(), s.QueueLen())
+	if st := s.Stats(); st.Rejects != 1 || st.QueueLen != 0 {
+		t.Fatalf("rejects=%d queue=%d", st.Rejects, st.QueueLen)
 	}
-	if s.RejectRatio() != 1 {
-		t.Fatalf("RejectRatio = %v", s.RejectRatio())
+	if s.Stats().RejectRatio() != 1 {
+		t.Fatalf("RejectRatio = %v", s.Stats().RejectRatio())
 	}
 }
 
@@ -91,8 +91,8 @@ func TestRejectionKeepsExistingSchedule(t *testing.T) {
 	if after == nil || after != before {
 		t.Fatalf("rejection must not replace existing plans")
 	}
-	if s.QueueLen() != 1 {
-		t.Fatalf("queue corrupted by rejection: %d", s.QueueLen())
+	if st := s.Stats(); st.QueueLen != 1 {
+		t.Fatalf("queue corrupted by rejection: %d", st.QueueLen)
 	}
 }
 
@@ -136,7 +136,7 @@ func TestFIFOKeepsArrivalOrder(t *testing.T) {
 		if p2.FirstStart() < p1.FirstStart()-1e-9 {
 			t.Fatalf("FIFO must not start a later arrival first")
 		}
-	} else if s.Rejects() != 1 {
+	} else if s.Stats().Rejects != 1 {
 		t.Fatalf("rejection not counted")
 	}
 }
@@ -158,8 +158,8 @@ func TestCommitLifecycle(t *testing.T) {
 	if len(plans) != 1 || plans[0].Task.ID != 1 {
 		t.Fatalf("CommitDue = %v", plans)
 	}
-	if s.QueueLen() != 0 || s.Commits() != 1 {
-		t.Fatalf("queue=%d commits=%d", s.QueueLen(), s.Commits())
+	if st := s.Stats(); st.QueueLen != 0 || st.Commits != 1 {
+		t.Fatalf("queue=%d commits=%d", st.QueueLen, st.Commits)
 	}
 	if _, has := s.NextCommit(); has {
 		t.Fatalf("no commits should remain")
@@ -298,7 +298,7 @@ func TestNoAdmittedDeadlineMiss(t *testing.T) {
 				now += 150
 			}
 			// Drain the queue.
-			for s.QueueLen() > 0 {
+			for s.Stats().QueueLen > 0 {
 				at, ok := s.NextCommit()
 				if !ok {
 					t.Fatalf("queue nonempty but no commit pending")

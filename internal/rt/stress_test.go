@@ -42,10 +42,10 @@ func stressDrive(t *testing.T, pol Policy, part Partitioner, seed uint64, tasks 
 		}
 		committed = append(committed, plans...)
 	}
-	for s.QueueLen() > 0 {
+	for s.Stats().QueueLen > 0 {
 		at, ok := s.NextCommit()
 		if !ok {
-			t.Fatalf("stuck queue of %d", s.QueueLen())
+			t.Fatalf("stuck queue of %d", s.Stats().QueueLen)
 		}
 		now = math.Max(now, at)
 		plans, err := s.CommitDue(now)
@@ -54,7 +54,7 @@ func stressDrive(t *testing.T, pol Policy, part Partitioner, seed uint64, tasks 
 		}
 		committed = append(committed, plans...)
 	}
-	if got := s.Accepts(); got != len(committed) {
+	if got := s.Stats().Accepts; got != len(committed) {
 		t.Fatalf("accepted %d but committed %d", got, len(committed))
 	}
 	return committed

@@ -1,0 +1,44 @@
+package service
+
+import (
+	"context"
+
+	"rtdls/internal/rt"
+)
+
+// Engine is the admission-control surface shared by a single-cluster
+// Service and a multi-shard pool.Pool: everything the public rtdls.Service
+// needs — submissions, the event stream, statistics and lifecycle — works
+// identically whether one scheduler or K shards sit behind it. The
+// single-cluster Service is exactly the K=1 special case.
+type Engine interface {
+	// Submit runs the admission test for one task and returns the decision.
+	Submit(ctx context.Context, t rt.Task) (Decision, error)
+	// SubmitBatch submits several tasks in order, one decision per task.
+	SubmitBatch(ctx context.Context, tasks []rt.Task) ([]Decision, error)
+	// Subscribe attaches a consumer to the decision/lifecycle event stream.
+	Subscribe(buffer int) (<-chan Event, func())
+	// Stats returns a snapshot of admission counters and cluster accounting,
+	// aggregated over every shard.
+	Stats() Stats
+	// Exec returns the accumulated execution metrics of committed plans,
+	// aggregated over every shard.
+	Exec() ExecStats
+	// NextCommit returns the earliest pending first-transmission time over
+	// all shards, or ok=false when nothing is waiting.
+	NextCommit() (at float64, ok bool)
+	// CommitDue starts every transmission due at the given time.
+	CommitDue(now float64) error
+	// Pump commits everything due at the current clock reading.
+	Pump() error
+	// Drain commits every remaining waiting plan regardless of the clock.
+	Drain() error
+	// Clock returns the engine's clock.
+	Clock() Clock
+	// Close marks the engine closed and tears down the event stream.
+	Close() error
+}
+
+// Service implements Engine; pool.Pool provides the multi-shard
+// implementation.
+var _ Engine = (*Service)(nil)

@@ -42,6 +42,10 @@ type Event struct {
 	Time float64 // service time of the event
 	Task rt.Task // the task, by value
 
+	// Shard identifies the cluster shard the event happened on: always 0
+	// for a standalone Service, the shard index for a pool member.
+	Shard int
+
 	// Nodes and Est describe the plan (Accept/Commit events only).
 	Nodes int
 	Est   float64
@@ -57,24 +61,27 @@ type subscriber struct {
 	dropped uint64
 }
 
-// bus fans lifecycle events out to any number of subscribers. Publishing
+// Bus fans lifecycle events out to any number of subscribers. Publishing
 // never blocks: a subscriber that falls behind its buffer loses events
-// (counted per subscriber) rather than stalling admission control.
-type bus struct {
+// (counted per subscriber) rather than stalling admission control. A Bus
+// can be private to one Service (the default) or shared by every shard of
+// a pool, giving consumers one merged, shard-tagged stream.
+type Bus struct {
 	mu     sync.Mutex
 	subs   map[*subscriber]struct{}
 	lost   uint64 // drops accumulated from detached subscribers
 	closed bool
 }
 
-func newBus() *bus {
-	return &bus{subs: make(map[*subscriber]struct{})}
+// NewBus returns an empty event bus.
+func NewBus() *Bus {
+	return &Bus{subs: make(map[*subscriber]struct{})}
 }
 
-// subscribe registers a consumer with the given channel buffer (minimum 1)
+// Subscribe registers a consumer with the given channel buffer (minimum 1)
 // and returns its channel plus a cancel function. After cancel (or bus
 // close) the channel is closed.
-func (b *bus) subscribe(buffer int) (<-chan Event, func()) {
+func (b *Bus) Subscribe(buffer int) (<-chan Event, func()) {
 	if buffer < 1 {
 		buffer = 1
 	}
@@ -106,8 +113,8 @@ func (b *bus) subscribe(buffer int) (<-chan Event, func()) {
 	return s.ch, cancel
 }
 
-// publish delivers ev to every subscriber without blocking.
-func (b *bus) publish(ev Event) {
+// Publish delivers ev to every subscriber without blocking.
+func (b *Bus) Publish(ev Event) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for s := range b.subs {
@@ -119,11 +126,11 @@ func (b *bus) publish(ev Event) {
 	}
 }
 
-// droppedTotal returns the number of events lost over the bus's lifetime:
+// DroppedTotal returns the number of events lost over the bus's lifetime:
 // drops at current subscribers plus drops carried over from detached ones.
 // It is monotone — cancelling a lagging subscriber does not erase its
 // losses.
-func (b *bus) droppedTotal() uint64 {
+func (b *Bus) DroppedTotal() uint64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	n := b.lost
@@ -133,8 +140,9 @@ func (b *bus) droppedTotal() uint64 {
 	return n
 }
 
-// close closes every subscriber channel and rejects future subscriptions.
-func (b *bus) close() {
+// Close closes every subscriber channel and rejects future subscriptions.
+// It is idempotent.
+func (b *Bus) Close() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
@@ -148,9 +156,9 @@ func (b *bus) close() {
 	}
 }
 
-// hasSubscribers reports whether any consumer is attached (fast path to
+// HasSubscribers reports whether any consumer is attached (fast path to
 // skip event construction entirely on hot simulation loops).
-func (b *bus) hasSubscribers() bool {
+func (b *Bus) HasSubscribers() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return len(b.subs) > 0

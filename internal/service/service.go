@@ -41,6 +41,17 @@ type Config struct {
 	// QueueLen >= MaxQueue is rejected with ErrClusterBusy before the
 	// schedulability test runs. 0 means unbounded.
 	MaxQueue int
+
+	// Shard tags every decision and event this service emits with a shard
+	// index. It is 0 for a standalone service; a pool assigns each member
+	// its index.
+	Shard int
+
+	// Bus optionally shares an event bus with other services (the pool
+	// publishes every shard onto one merged stream). When nil the service
+	// creates a private bus and closes it on Close; a shared bus is owned
+	// — and closed — by whoever created it.
+	Bus *Bus
 }
 
 // Decision is the outcome of one Submit: either an admission with the
@@ -49,6 +60,11 @@ type Decision struct {
 	TaskID   int64
 	Accepted bool
 	At       float64 // service time of the decision
+
+	// Shard is the cluster shard that made the decision: always 0 for a
+	// standalone Service; for a pool, the shard the placement layer picked
+	// (for an accept, the shard the task will run on).
+	Shard int
 
 	// Reason is nil when accepted; otherwise one of errs.ErrInfeasible,
 	// errs.ErrDeadlinePast, errs.ErrClusterBusy (errors.Is-matchable).
@@ -112,7 +128,11 @@ type Service struct {
 	sched *rt.Scheduler
 	clock Clock
 	obs   rt.Observer
-	bus   *bus
+	bus   *Bus
+	shard int
+	// ownBus records whether Close should also close the bus (false when
+	// the bus is shared across a pool's shards).
+	ownBus bool
 
 	maxQueue int
 	closed   bool
@@ -138,16 +158,25 @@ func New(cfg Config) (*Service, error) {
 	if clock == nil {
 		clock = NewManualClock(0)
 	}
+	if cfg.Shard < 0 {
+		return nil, fmt.Errorf("service: negative shard index %d: %w", cfg.Shard, errs.ErrBadConfig)
+	}
 	sched := rt.NewScheduler(cfg.Cluster, cfg.Policy, cfg.Partitioner)
 	if cfg.Observer != nil {
 		sched.SetObserver(cfg.Observer)
+	}
+	bus, ownBus := cfg.Bus, false
+	if bus == nil {
+		bus, ownBus = NewBus(), true
 	}
 	return &Service{
 		cl:       cfg.Cluster,
 		sched:    sched,
 		clock:    clock,
 		obs:      cfg.Observer,
-		bus:      newBus(),
+		bus:      bus,
+		shard:    cfg.Shard,
+		ownBus:   ownBus,
 		maxQueue: cfg.MaxQueue,
 		exec:     ExecStats{MaxLateness: math.Inf(-1)},
 	}, nil
@@ -249,7 +278,7 @@ func (s *Service) submitLocked(task rt.Task) (Decision, error) {
 		// The scheduler already notified the legacy observer; publish the
 		// typed stream event here.
 		s.rejects++
-		d := Decision{TaskID: t.ID, At: now, Reason: errs.ErrInfeasible}
+		d := Decision{TaskID: t.ID, At: now, Shard: s.shard, Reason: errs.ErrInfeasible}
 		s.publishLocked(Event{Kind: EventReject, Time: now, Task: *t, Reason: errs.ErrInfeasible})
 		return d, nil
 	}
@@ -259,6 +288,7 @@ func (s *Service) submitLocked(task rt.Task) (Decision, error) {
 		TaskID:   t.ID,
 		Accepted: true,
 		At:       now,
+		Shard:    s.shard,
 		Est:      pl.Est,
 		Rounds:   pl.Rounds,
 		Nodes:    append([]int(nil), pl.Nodes...),
@@ -281,12 +311,13 @@ func (s *Service) rejectLocked(t *rt.Task, now float64, reason error) Decision {
 		s.obs.OnReject(now, t)
 	}
 	s.publishLocked(Event{Kind: EventReject, Time: now, Task: *t, Reason: reason})
-	return Decision{TaskID: t.ID, At: now, Reason: reason}
+	return Decision{TaskID: t.ID, At: now, Shard: s.shard, Reason: reason}
 }
 
 func (s *Service) publishLocked(ev Event) {
-	if s.bus.hasSubscribers() {
-		s.bus.publish(ev)
+	if s.bus.HasSubscribers() {
+		ev.Shard = s.shard
+		s.bus.Publish(ev)
 	}
 }
 
@@ -386,7 +417,7 @@ func (s *Service) Stats() Stats {
 		ReservedIdle:  s.cl.ReservedIdle(),
 		LastRelease:   s.cl.LastRelease(),
 		Utilization:   s.cl.Utilization(span),
-		EventsDropped: s.bus.droppedTotal(),
+		EventsDropped: s.bus.DroppedTotal(),
 	}
 }
 
@@ -402,17 +433,29 @@ func (s *Service) Exec() ExecStats {
 // and closes the channel. A consumer that falls behind loses events
 // (counted in Stats.EventsDropped) rather than blocking admission control.
 func (s *Service) Subscribe(buffer int) (<-chan Event, func()) {
-	return s.bus.subscribe(buffer)
+	return s.bus.Subscribe(buffer)
 }
 
+// QueueLen returns the number of admitted-but-uncommitted tasks — the
+// cheap load signal the pool's placement layer samples on every submit.
+func (s *Service) QueueLen() int { return s.sched.Stats().QueueLen }
+
+// Shard returns the shard index this service stamps on its decisions and
+// events (0 for a standalone service).
+func (s *Service) Shard() int { return s.shard }
+
 // Close marks the service closed — subsequent submissions fail with
-// ErrClusterBusy — and closes every subscriber channel. Waiting plans are
-// not committed; call Drain first to flush them. Close is idempotent.
+// ErrClusterBusy — and, when the service owns its bus, closes every
+// subscriber channel (a pool owns the bus it shares across shards and
+// closes it itself). Waiting plans are not committed; call Drain first to
+// flush them. Close is idempotent.
 func (s *Service) Close() error {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
-	s.bus.close()
+	if s.ownBus {
+		s.bus.Close()
+	}
 	return nil
 }
 

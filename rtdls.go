@@ -17,7 +17,10 @@ import (
 // Version identifies this release of the library. 2.0.0 redesigned the
 // public API around the long-lived rtdls.Service (see New, Submit,
 // Subscribe); the 1.x Config/Run surface remains as deprecated shims.
-const Version = "2.0.0"
+// 2.1.0 sharded the service into a multi-cluster admission pool with a
+// pluggable placement layer (WithShards, WithPlacement) and removed the
+// long-deprecated rt.Scheduler counter accessors.
+const Version = "2.1.0"
 
 // Params holds the cluster's linear cost coefficients: Cms is the time to
 // transmit one unit of load from the head node to a processing node, Cps

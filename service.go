@@ -6,6 +6,7 @@ import (
 
 	"rtdls/internal/cluster"
 	"rtdls/internal/driver"
+	"rtdls/internal/pool"
 	"rtdls/internal/rt"
 	"rtdls/internal/service"
 )
@@ -63,6 +64,40 @@ type Observer = rt.Observer
 // entries are skipped).
 func CombineObservers(obs ...Observer) Observer { return service.CombineObservers(obs...) }
 
+// Placement is the pool's pluggable routing layer: it decides which
+// shard(s) a submission is offered. Implementations must be safe for
+// concurrent use; see RoundRobin, LeastLoaded, PowerOfTwoChoices and
+// Spillover for the built-ins.
+type Placement = pool.Placement
+
+// ShardLoad is the per-shard load signal placements receive.
+type ShardLoad = pool.ShardLoad
+
+// RoundRobin cycles submissions across shards by sequence number.
+type RoundRobin = pool.RoundRobin
+
+// LeastLoaded routes each task to the shard with the shortest waiting
+// queue (ties prefer the larger, then the lower-indexed shard).
+type LeastLoaded = pool.LeastLoaded
+
+// PowerOfTwoChoices samples two shards deterministically from its seed
+// and picks the less loaded one.
+type PowerOfTwoChoices = pool.PowerOfTwoChoices
+
+// Spillover wraps another placement and retries rejected tasks on the
+// remaining shards, least loaded first, before giving a final reject.
+type Spillover = pool.Spillover
+
+// ParsePlacement resolves a placement by name ("round-robin", "rr",
+// "least-loaded", "ll", "power-of-two", "p2c", "spillover",
+// "spillover-rr", "spillover-p2c"); seed feeds the power-of-two variants.
+func ParsePlacement(name string, seed uint64) (Placement, error) {
+	return pool.ParsePlacement(name, seed)
+}
+
+// Placements lists every placement name ParsePlacement accepts.
+func Placements() []string { return pool.Placements() }
+
 // serviceOptions collects the functional options of New, Simulate and
 // CostModelFor.
 type serviceOptions struct {
@@ -78,6 +113,10 @@ type serviceOptions struct {
 	clock      Clock
 	observer   Observer
 	maxQueue   int
+	shards     int
+	placement  Placement
+	shardNodes []int
+	shardCosts [][]NodeCost
 }
 
 func defaultOptions() serviceOptions {
@@ -217,6 +256,79 @@ func WithMaxQueue(n int) Option {
 	}
 }
 
+// WithShards splits the service into k independent cluster shards fronted
+// by a placement layer (default RoundRobin; see WithPlacement): each shard
+// gets its own scheduler and lock, so submissions contend only per shard
+// and Submit throughput scales with k on multi-core hardware. Every shard
+// copies the single-cluster configuration (node count, costs, policy,
+// algorithm, queue bound) unless WithShardNodes or WithShardNodeCosts
+// sizes them individually. WithShards(1) routes through the same pool
+// engine and is property-tested to behave identically to the default
+// single-cluster service.
+func WithShards(k int) Option {
+	return func(o *serviceOptions) error {
+		if k < 1 {
+			return fmt.Errorf("rtdls: WithShards(%d): need at least one shard: %w", k, ErrBadConfig)
+		}
+		o.shards = k
+		return nil
+	}
+}
+
+// WithPlacement selects the pool's routing layer (default RoundRobin).
+// Implies a pool even without WithShards (then K=1).
+func WithPlacement(p Placement) Option {
+	return func(o *serviceOptions) error {
+		if p == nil {
+			return fmt.Errorf("rtdls: WithPlacement(nil): %w", ErrBadConfig)
+		}
+		o.placement = p
+		return nil
+	}
+}
+
+// WithShardNodes sizes each shard individually (the shard count follows
+// the argument count) — a fleet of differently sized clusters behind one
+// admission surface. Overrides WithNodes per shard; combine with
+// WithShards only if the counts agree. Combining it with an explicit
+// single-cluster table (WithCosts/WithNodeCosts) is rejected — one table
+// cannot size individually-shaped shards; use WithShardNodeCosts.
+func WithShardNodes(ns ...int) Option {
+	return func(o *serviceOptions) error {
+		if len(ns) == 0 {
+			return fmt.Errorf("rtdls: WithShardNodes: no shard sizes: %w", ErrBadConfig)
+		}
+		for i, n := range ns {
+			if n < 1 {
+				return fmt.Errorf("rtdls: WithShardNodes: shard %d needs at least one node, got %d: %w", i, n, ErrBadConfig)
+			}
+		}
+		o.shardNodes = append([]int(nil), ns...)
+		return nil
+	}
+}
+
+// WithShardNodeCosts gives every shard its own explicit per-node cost
+// table (the shard count follows the argument count) — a fully
+// heterogeneous fleet: shards of different sizes and node speeds. It
+// overrides WithShardNodes and the spread draw; combining it with a
+// single-cluster table (WithCosts/WithNodeCosts) is rejected.
+func WithShardNodeCosts(tables ...[]NodeCost) Option {
+	return func(o *serviceOptions) error {
+		if len(tables) == 0 {
+			return fmt.Errorf("rtdls: WithShardNodeCosts: no shard tables: %w", ErrBadConfig)
+		}
+		o.shardCosts = make([][]NodeCost, len(tables))
+		for i, tbl := range tables {
+			if len(tbl) == 0 {
+				return fmt.Errorf("rtdls: WithShardNodeCosts: shard %d table empty: %w", i, ErrBadConfig)
+			}
+			o.shardCosts[i] = append([]NodeCost(nil), tbl...)
+		}
+		return nil
+	}
+}
+
 // apply folds the options over the defaults.
 func applyOptions(opts []Option) (serviceOptions, error) {
 	o := defaultOptions()
@@ -240,18 +352,27 @@ func (o serviceOptions) config() driver.Config {
 		pol = "fifo"
 	}
 	return driver.Config{
-		N:          o.n,
-		Cms:        o.params.Cms,
-		Cps:        o.params.Cps,
-		Policy:     pol,
-		Algorithm:  o.algorithm,
-		Rounds:     o.rounds,
-		NodeCosts:  o.nodeCosts,
-		CmsSpread:  o.cmsSpread,
-		CpsSpread:  o.cpsSpread,
-		HeteroSeed: o.heteroSeed,
-		Observer:   o.observer,
+		N:              o.n,
+		Cms:            o.params.Cms,
+		Cps:            o.params.Cps,
+		Policy:         pol,
+		Algorithm:      o.algorithm,
+		Rounds:         o.rounds,
+		NodeCosts:      o.nodeCosts,
+		CmsSpread:      o.cmsSpread,
+		CpsSpread:      o.cpsSpread,
+		HeteroSeed:     o.heteroSeed,
+		Observer:       o.observer,
+		Shards:         o.shards,
+		Placement:      o.placement,
+		ShardNodes:     o.shardNodes,
+		ShardNodeCosts: o.shardCosts,
 	}
+}
+
+// pooled reports whether the options describe a sharded pool.
+func (o serviceOptions) pooled() bool {
+	return o.shards != 0 || o.placement != nil || len(o.shardNodes) > 0 || len(o.shardCosts) > 0
 }
 
 // CostModelFor resolves the per-node cost table the given options describe
@@ -263,7 +384,11 @@ func CostModelFor(opts ...Option) (*CostModel, error) {
 	if err != nil {
 		return nil, err
 	}
-	return o.config().CostModel()
+	_, cms, err := o.config().ShardPlan()
+	if err != nil {
+		return nil, err
+	}
+	return cms[0], nil
 }
 
 // Service is the long-lived, goroutine-safe admission-control service: the
@@ -271,9 +396,17 @@ func CostModelFor(opts ...Option) (*CostModel, error) {
 // Construct with New; submit tasks from any number of goroutines with
 // Submit/SubmitBatch; observe decisions via the Subscribe event stream or
 // the Stats snapshot. See examples/quickstart and examples/admission.
+//
+// With WithShards the same surface fronts a pool of K independent cluster
+// shards behind a placement layer (see examples/pool): decisions and
+// events carry the placing shard, Stats aggregates the fleet, and
+// ShardStats/Clusters expose the per-shard views. The default
+// single-cluster service is exactly the K=1 special case.
 type Service struct {
-	inner *service.Service
-	cm    *CostModel
+	engine service.Engine
+	single *service.Service // non-nil for the classic single-cluster engine
+	pool   *pool.Pool       // non-nil for the sharded engine
+	cms    []*CostModel     // per-shard cost models (len 1 when single)
 }
 
 // New builds a service from functional options:
@@ -286,37 +419,66 @@ type Service struct {
 //	)
 //
 // The zero-option call reproduces the paper's baseline cluster (16 nodes,
-// Cms=1, Cps=100, EDF, DLT-IIT) under a manual clock.
+// Cms=1, Cps=100, EDF, DLT-IIT) under a manual clock. Any shard option
+// (WithShards, WithPlacement, WithShardNodes, WithShardNodeCosts) fronts
+// K shards with a placement layer instead; with several shards the
+// observer installed by WithObserver is invoked concurrently from every
+// shard and must be safe for concurrent use.
 func New(opts ...Option) (*Service, error) {
 	o, err := applyOptions(opts)
 	if err != nil {
 		return nil, err
 	}
 	cfg := o.config()
-	cm, err := cfg.CostModel()
+	k, cms, err := cfg.ShardPlan()
 	if err != nil {
 		return nil, err
 	}
-	part, err := driver.PartitionerFor(o.algorithm, o.rounds, cm)
+	if !o.pooled() {
+		part, err := driver.PartitionerFor(o.algorithm, o.rounds, cms[0])
+		if err != nil {
+			return nil, err
+		}
+		cl, err := cluster.NewHetero(cms[0].Costs())
+		if err != nil {
+			return nil, err
+		}
+		inner, err := service.New(service.Config{
+			Cluster:     cl,
+			Policy:      o.policy,
+			Partitioner: part,
+			Clock:       o.clock,
+			Observer:    o.observer,
+			MaxQueue:    o.maxQueue,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Service{engine: inner, single: inner, cms: cms}, nil
+	}
+	shards := make([]pool.ShardConfig, k)
+	for j := range shards {
+		part, err := driver.PartitionerFor(o.algorithm, o.rounds, cms[j])
+		if err != nil {
+			return nil, err
+		}
+		cl, err := cluster.NewHetero(cms[j].Costs())
+		if err != nil {
+			return nil, err
+		}
+		shards[j] = pool.ShardConfig{
+			Cluster:     cl,
+			Policy:      o.policy,
+			Partitioner: part,
+			MaxQueue:    o.maxQueue,
+			Observer:    o.observer,
+		}
+	}
+	pl, err := pool.New(pool.Config{Shards: shards, Placement: o.placement, Clock: o.clock})
 	if err != nil {
 		return nil, err
 	}
-	cl, err := cluster.NewHetero(cm.Costs())
-	if err != nil {
-		return nil, err
-	}
-	inner, err := service.New(service.Config{
-		Cluster:     cl,
-		Policy:      o.policy,
-		Partitioner: part,
-		Clock:       o.clock,
-		Observer:    o.observer,
-		MaxQueue:    o.maxQueue,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Service{inner: inner, cm: cm}, nil
+	return &Service{engine: pl, pool: pl, cms: cms}, nil
 }
 
 // Submit runs the admission test for one task and returns the decision.
@@ -325,13 +487,13 @@ func New(opts ...Option) (*Service, error) {
 // return reports malformed input or a closed service — never
 // infeasibility, which is a clean decision with Reason ErrInfeasible.
 func (s *Service) Submit(ctx context.Context, t Task) (Decision, error) {
-	return s.inner.Submit(ctx, t)
+	return s.engine.Submit(ctx, t)
 }
 
 // SubmitBatch submits several tasks atomically (one lock acquisition), in
 // order, returning one decision per considered task.
 func (s *Service) SubmitBatch(ctx context.Context, tasks []Task) ([]Decision, error) {
-	return s.inner.SubmitBatch(ctx, tasks)
+	return s.engine.SubmitBatch(ctx, tasks)
 }
 
 // Subscribe attaches a consumer to the decision/lifecycle event stream.
@@ -339,39 +501,88 @@ func (s *Service) SubmitBatch(ctx context.Context, tasks []Task) ([]Decision, er
 // consumer loses events (counted in Stats().EventsDropped) rather than
 // blocking admission control.
 func (s *Service) Subscribe(buffer int) (<-chan Event, func()) {
-	return s.inner.Subscribe(buffer)
+	return s.engine.Subscribe(buffer)
 }
 
 // Stats returns a consistent snapshot of the admission counters, queue
-// depth and cluster utilization.
-func (s *Service) Stats() ServiceStats { return s.inner.Stats() }
+// depth and cluster utilization — aggregated over every shard for a
+// pooled service (see ServiceStats for the aggregation rules).
+func (s *Service) Stats() ServiceStats { return s.engine.Stats() }
 
-// NextCommit returns the earliest pending first-transmission time, or
-// ok=false when no task is waiting.
-func (s *Service) NextCommit() (at float64, ok bool) { return s.inner.NextCommit() }
+// NextCommit returns the earliest pending first-transmission time over
+// all shards, or ok=false when no task is waiting.
+func (s *Service) NextCommit() (at float64, ok bool) { return s.engine.NextCommit() }
 
 // Pump commits every waiting plan whose first transmission is due at the
 // current clock reading. Submissions do this implicitly; Pump exists for
 // idle periods.
-func (s *Service) Pump() error { return s.inner.Pump() }
+func (s *Service) Pump() error { return s.engine.Pump() }
 
 // Drain commits every remaining waiting plan regardless of the clock —
 // the flush/shutdown path.
-func (s *Service) Drain() error { return s.inner.Drain() }
+func (s *Service) Drain() error { return s.engine.Drain() }
 
-// Clock returns the service's clock.
-func (s *Service) Clock() Clock { return s.inner.Clock() }
+// Clock returns the service's clock (shared by every shard).
+func (s *Service) Clock() Clock { return s.engine.Clock() }
 
-// Costs returns the per-node cost model the service schedules against.
-func (s *Service) Costs() *CostModel { return s.cm }
+// Costs returns the per-node cost model the service schedules against —
+// shard 0's for a pooled service (see ShardCosts for the fleet).
+func (s *Service) Costs() *CostModel { return s.cms[0] }
 
-// Cluster returns the live cluster substrate (release times, accounting).
-func (s *Service) Cluster() *Cluster { return s.inner.Cluster() }
+// ShardCosts returns every shard's cost model, indexed by shard (length
+// 1 for the single-cluster service).
+func (s *Service) ShardCosts() []*CostModel { return append([]*CostModel(nil), s.cms...) }
+
+// Cluster returns the live cluster substrate (release times, accounting)
+// — shard 0's for a pooled service (see Clusters for the fleet).
+func (s *Service) Cluster() *Cluster {
+	if s.single != nil {
+		return s.single.Cluster()
+	}
+	return s.pool.Shard(0).Cluster()
+}
+
+// Clusters returns every shard's cluster substrate, indexed by shard
+// (length 1 for the single-cluster service).
+func (s *Service) Clusters() []*Cluster {
+	if s.single != nil {
+		return []*Cluster{s.single.Cluster()}
+	}
+	return s.pool.Clusters()
+}
+
+// Shards returns the number of cluster shards behind the service (1 for
+// the default single-cluster service).
+func (s *Service) Shards() int {
+	if s.pool != nil {
+		return s.pool.Shards()
+	}
+	return 1
+}
+
+// ShardStats returns every shard's own snapshot, indexed by shard. Under
+// a spillover placement a retried task counts at every shard that saw it;
+// the pool-level Stats counts it once.
+func (s *Service) ShardStats() []ServiceStats {
+	if s.pool != nil {
+		return s.pool.ShardStats()
+	}
+	return []ServiceStats{s.single.Stats()}
+}
+
+// Spillovers returns how many accepted tasks needed at least one
+// spillover retry (always 0 without a Spillover placement).
+func (s *Service) Spillovers() int {
+	if s.pool != nil {
+		return s.pool.Spillovers()
+	}
+	return 0
+}
 
 // Close marks the service closed — subsequent submissions fail with
 // ErrClusterBusy — and closes every subscriber channel. Call Drain first
 // to flush waiting plans. Close is idempotent.
-func (s *Service) Close() error { return s.inner.Close() }
+func (s *Service) Close() error { return s.engine.Close() }
 
 // Workload parameterises one synthetic evaluation run for Simulate:
 // Poisson arrivals at the given SystemLoad, σ ~ N(AvgSigma, AvgSigma)
