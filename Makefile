@@ -5,7 +5,7 @@ GO ?= go
 FUZZTIME ?= 10s
 FUZZ_PKGS := ./internal/core ./internal/dlt
 
-.PHONY: build test bench bench-json fmt fmt-check vet race fuzz-smoke ci
+.PHONY: build test bench bench-json fmt fmt-check vet race fuzz-smoke serve loadtest wire-smoke ci
 
 build:
 	$(GO) build ./...
@@ -47,5 +47,21 @@ fuzz-smoke:
 			$(GO) test $$pkg -run='^$$' -fuzz="^$$target\$$" -fuzztime=$(FUZZTIME); \
 		done; \
 	done
+
+# Boot the wire server: 4 shards × 8 nodes, bounded queues, 100k sim
+# units per wall second. Ctrl-C (or SIGTERM) drains gracefully.
+serve:
+	$(GO) run ./cmd/dlserve -addr :8080 -n 8 -shards 4 -placement spillover -max-queue 64 -scale 100000
+
+# Closed-loop burst against a running `make serve`, gated like CI.
+loadtest:
+	$(GO) run ./cmd/dlload -url http://127.0.0.1:8080 -mode closed -workers 64 -n 50000 \
+		-sigma 200 -deadline 20000 -max-p99 2000 -fail-on-5xx -require-retry-after -out BENCH_wire.json
+
+# The CI wire-smoke job, runnable locally: boot dlserve, push 50k
+# submissions through it, SIGTERM, and assert the drain lost nothing
+# (accepts == commits, empty queue) with zero hard 5xx.
+wire-smoke:
+	./scripts/wire_smoke.sh
 
 ci: build fmt-check vet race bench fuzz-smoke

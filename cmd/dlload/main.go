@@ -1,0 +1,159 @@
+// Command dlload drives a running dlserve with closed-loop or open-loop
+// traffic and reports wire-level admission latency and outcome ratios.
+//
+// Closed loop — 64 workers submitting back to back until 50k requests:
+//
+//	dlload -url http://127.0.0.1:8080 -mode closed -workers 64 -n 50000
+//
+// Open loop — Poisson arrivals at 2000 req/s, or the same rate in bursts
+// of 50, measuring latency from each intended arrival instant:
+//
+//	dlload -mode open -rate 2000 -n 20000
+//	dlload -mode open -rate 2000 -burst 50 -n 20000
+//
+// Replay an explicit schedule (one offset-in-seconds per line):
+//
+//	dlload -mode open -replay arrivals.txt
+//
+// The run writes an HDR-style latency/outcome report (BENCH_wire.json by
+// default) and can gate CI: -max-p99 fails the run when the p99 admission
+// latency exceeds the bound, -fail-on-5xx when any hard server error was
+// seen, and -require-retry-after when a busy rejection arrived without a
+// usable Retry-After hint.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"rtdls/internal/load"
+)
+
+func main() {
+	var (
+		url     = flag.String("url", "http://127.0.0.1:8080", "dlserve base URL")
+		mode    = flag.String("mode", "closed", "traffic mode: closed or open")
+		workers = flag.Int("workers", 16, "closed-loop concurrency / open-loop in-flight cap")
+		n       = flag.Int("n", 10000, "total submissions")
+		rate    = flag.Float64("rate", 1000, "open-loop mean arrival rate (req/s)")
+		burst   = flag.Int("burst", 1, "open-loop burst size (1 = Poisson)")
+		replay  = flag.String("replay", "", "open-loop schedule file: one offset-seconds per line")
+		sigma   = flag.Float64("sigma", 200, "task data size σ (simulation units)")
+		spread  = flag.Float64("sigma-spread", 1, "draw σ uniformly from [σ/spread, σ·spread]")
+		dl      = flag.Float64("deadline", 20000, "relative deadline D (simulation units)")
+		seed    = flag.Int64("seed", 1, "RNG seed")
+		timeout = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		out     = flag.String("out", "BENCH_wire.json", "report output path (empty = stdout only)")
+
+		maxP99       = flag.Float64("max-p99", 0, "fail when p99 latency exceeds this many ms (0 = off)")
+		failOn5xx    = flag.Bool("fail-on-5xx", false, "fail when any hard 5xx (≠503) was received")
+		requireRetry = flag.Bool("require-retry-after", false, "fail when a busy rejection lacked Retry-After")
+	)
+	flag.Parse()
+
+	opts := load.Options{
+		URL:         strings.TrimRight(*url, "/"),
+		Mode:        *mode,
+		Workers:     *workers,
+		N:           *n,
+		Rate:        *rate,
+		Burst:       *burst,
+		Sigma:       *sigma,
+		SigmaSpread: *spread,
+		Deadline:    *dl,
+		Seed:        *seed,
+		Timeout:     *timeout,
+	}
+	if *replay != "" {
+		offs, err := readSchedule(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Replay = offs
+		opts.Mode = "open"
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	rep, err := load.Run(ctx, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("dlload: %d requests in %.2fs (%.0f req/s)\n",
+		rep.Requests, rep.DurationSeconds, rep.ThroughputPerSec)
+	fmt.Printf("dlload: accepted=%d (%.1f%%) infeasible=%d deadline=%d busy=%d bad=%d 503=%d 5xx=%d transport=%d\n",
+		rep.Accepted, 100*rep.AcceptRatio(), rep.RejectedInfeasible, rep.RejectedDeadline,
+		rep.RejectedBusy, rep.BadRequest, rep.Unavailable, rep.HTTP5xx, rep.TransportErrors)
+	fmt.Printf("dlload: latency ms p50=%.3f p90=%.3f p99=%.3f p999=%.3f mean=%.3f max=%.3f\n",
+		rep.Latency.P50Ms, rep.Latency.P90Ms, rep.Latency.P99Ms,
+		rep.Latency.P999Ms, rep.Latency.MeanMs, rep.Latency.MaxMs)
+
+	if *out != "" {
+		if err := rep.WriteJSON(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Println("dlload: report written to", *out)
+	}
+
+	failed := false
+	if *maxP99 > 0 && rep.Latency.P99Ms > *maxP99 {
+		fmt.Fprintf(os.Stderr, "dlload: FAIL: p99 %.3f ms exceeds bound %.3f ms\n", rep.Latency.P99Ms, *maxP99)
+		failed = true
+	}
+	if *failOn5xx && rep.HTTP5xx > 0 {
+		fmt.Fprintf(os.Stderr, "dlload: FAIL: %d hard 5xx responses\n", rep.HTTP5xx)
+		failed = true
+	}
+	if *requireRetry && !rep.RetryAfter.Compliant {
+		fmt.Fprintf(os.Stderr, "dlload: FAIL: %d backpressure responses lacked Retry-After\n", rep.RetryAfter.Missing)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// readSchedule loads one arrival offset (seconds) per line; blank lines
+// and #-comments are skipped.
+func readSchedule(path string) ([]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var offs []float64
+	sc := bufio.NewScanner(f)
+	for ln := 1; sc.Scan(); ln++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(line, 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("dlload: %s:%d: bad offset %q", path, ln, line)
+		}
+		offs = append(offs, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(offs) == 0 {
+		return nil, fmt.Errorf("dlload: %s: empty schedule", path)
+	}
+	return offs, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dlload:", err)
+	os.Exit(1)
+}

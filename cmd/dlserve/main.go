@@ -1,0 +1,155 @@
+// Command dlserve puts the admission-control engine on the wire: an
+// HTTP/JSON server fronting a single cluster or a sharded pool, with the
+// schedulability test of Lin et al. behind POST /v1/submit.
+//
+// A 16-node cluster at 100k simulation units per wall second:
+//
+//	dlserve -addr :8080 -n 16 -scale 100000
+//
+// A sharded fleet of four 8-node clusters with spillover placement and a
+// bounded queue (full queue → 429 + Retry-After):
+//
+//	dlserve -addr :8080 -n 8 -shards 4 -placement spillover -max-queue 64
+//
+// SIGTERM or SIGINT triggers a graceful drain: new submissions are
+// refused with 503 + Retry-After, every committed plan is flushed, event
+// streams receive a final "end" event, and the final stats snapshot is
+// printed (and, with -final-stats, written as JSON) before exit.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rtdls"
+	"rtdls/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		n         = flag.Int("n", 16, "processing nodes per cluster")
+		cms       = flag.Float64("cms", 1, "unit data transmission cost Cms")
+		cps       = flag.Float64("cps", 100, "unit data processing cost Cps")
+		policy    = flag.String("policy", "edf", "scheduling policy: edf or fifo")
+		alg       = flag.String("alg", rtdls.AlgDLTIIT, fmt.Sprintf("algorithm: one of %v", rtdls.Algorithms()))
+		rounds    = flag.Int("rounds", 2, "installments per node for -alg dlt-mr")
+		maxQueue  = flag.Int("max-queue", 0, "waiting-queue bound per shard; 0 = unbounded (full queue rejects 429)")
+		shards    = flag.Int("shards", 0, "split the fleet into K clusters of -n nodes (0 = single cluster)")
+		placement = flag.String("placement", "round-robin", fmt.Sprintf("shard routing policy: one of %v", rtdls.Placements()))
+		seed      = flag.Uint64("seed", 1, "seed for seeded placements")
+		scale     = flag.Float64("scale", 1000, "simulation time units per wall second")
+		maxRetry  = flag.Float64("max-retry-after", 60, "cap on the advertised Retry-After (seconds)")
+		drainWait = flag.Duration("drain-timeout", 30*time.Second, "bound on the shutdown drain")
+		stats     = flag.String("final-stats", "", "write the final /v1/stats snapshot to this file on shutdown")
+		quiet     = flag.Bool("quiet", false, "suppress per-request logging")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *n, *cms, *cps, *policy, *alg, *rounds, *maxQueue,
+		*shards, *placement, *seed, *scale, *maxRetry, *drainWait, *stats, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "dlserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, n int, cms, cps float64, policyName, alg string, rounds, maxQueue,
+	shards int, placementName string, seed uint64, scale, maxRetry float64,
+	drainWait time.Duration, statsPath string, quiet bool) error {
+
+	pol, err := rtdls.ParsePolicy(policyName)
+	if err != nil {
+		return err
+	}
+	opts := []rtdls.Option{
+		rtdls.WithNodes(n),
+		rtdls.WithParams(rtdls.Params{Cms: cms, Cps: cps}),
+		rtdls.WithPolicy(pol),
+		rtdls.WithAlgorithm(alg),
+		rtdls.WithRounds(rounds),
+		rtdls.WithMaxQueue(maxQueue),
+		rtdls.WithClock(rtdls.NewWallClock(scale)),
+	}
+	if shards > 0 {
+		pl, err := rtdls.ParsePlacement(placementName, seed)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, rtdls.WithShards(shards), rtdls.WithPlacement(pl))
+	}
+	eng, err := rtdls.New(opts...)
+	if err != nil {
+		return err
+	}
+
+	logf := log.Printf
+	if quiet {
+		logf = nil
+	}
+	srv, err := server.New(server.Config{
+		Engine:        eng,
+		Scale:         scale,
+		MaxRetryAfter: maxRetry,
+		Version:       rtdls.Version,
+		Logf:          logf,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	log.Printf("dlserve: listening on %s (nodes=%d shards=%d scale=%g)", ln.Addr(), n, shards, scale)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		log.Printf("dlserve: %v, draining", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainWait)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("dlserve: drain: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("dlserve: shutdown: %v", err)
+	}
+
+	final := eng.Stats()
+	total, fivexx := srv.Requests()
+	log.Printf("dlserve: final stats: arrivals=%d accepts=%d rejects=%d commits=%d queue=%d http=%d 5xx=%d",
+		final.Arrivals, final.Accepts, final.Rejects, final.Commits, final.QueueLen, total, fivexx)
+	if statsPath != "" {
+		snapshot := struct {
+			rtdls.ServiceStats
+			HTTPRequests int64 `json:"http_requests"`
+			HTTP5xx      int64 `json:"http_5xx"`
+		}{final, total, fivexx}
+		data, err := json.MarshalIndent(snapshot, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(statsPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -42,8 +42,9 @@
 //
 //   - Simulate / Workload: one-call discrete-event replay of a synthetic
 //     workload through the same service engine, returning admission and
-//     execution metrics (the deprecated 1.x Run/Config shims delegate here
-//     and reproduce pre-2.0 results bit for bit).
+//     execution metrics. (The deprecated 1.x Run/Config shims were removed
+//     in 3.0.0; internal/driver still proves the replay reproduces the
+//     pre-redesign results bit for bit.)
 //
 //   - Model: the heterogeneous-model mathematics itself (Eqs. 1–7 of the
 //     paper) for analysis work.
@@ -72,6 +73,20 @@
 // case: WithShards(1) is property-tested to be bit-for-bit identical to
 // it, and a K-shard RoundRobin pool reproduces K independent
 // single-cluster simulations decision for decision. See examples/pool.
+//
+// Since 3.0.0 the same engine serves over the wire. cmd/dlserve is an
+// HTTP/JSON front end (internal/server) exposing submit, batch, stats, a
+// Server-Sent-Events decision stream with explicit gap notices for lossy
+// consumers, and a graceful SIGTERM drain that never loses a committed
+// task. Every rejection carries a wire-stable Reason token and integer
+// Code (see Reasons, ParseReason and Code in this package): the HTTP
+// status of a rejected submission is exactly the reason's code, busy
+// rejections carry a Retry-After derived from the engine's queue slack,
+// and Decision.Reason exposes the same token in process while remaining
+// errors.Is-matchable against the sentinels. cmd/dlload load-tests the
+// wire — closed-loop or open-loop (Poisson, bursty or replayed arrivals,
+// measured against intended arrival instants to avoid coordinated
+// omission) — and emits an HDR-style latency/outcome report.
 //
 // Build and test with the standard toolchain — go build ./... and
 // go test ./... — or via the Makefile (make ci mirrors the CI pipeline:

@@ -33,3 +33,50 @@ var (
 	// workloads or options.
 	ErrBadConfig = errs.ErrBadConfig
 )
+
+// Reason is the wire-stable string enum naming a rejection class. It is
+// the type of Decision.Reason and Event.Reason: the string value is the
+// wire token ("infeasible", "deadline-past", "busy"), so decisions
+// serialize identically in JSON responses and on the event stream, and the
+// same value still satisfies errors.Is against the sentinels above. See
+// ParseReason for the inverse and Code for the integer wire status.
+type Reason = errs.Reason
+
+// The documented Reason enum. Tokens are append-only wire contract: new
+// classes may be added, existing tokens are never renamed or reused.
+const (
+	ReasonNone         = errs.ReasonNone         // accepted ("")
+	ReasonInfeasible   = errs.ReasonInfeasible   // "infeasible" → ErrInfeasible
+	ReasonDeadlinePast = errs.ReasonDeadlinePast // "deadline-past" → ErrDeadlinePast
+	ReasonBusy         = errs.ReasonBusy         // "busy" → ErrClusterBusy
+	ReasonBadRequest   = errs.ReasonBadRequest   // "bad-request" → ErrBadConfig (wire errors only)
+	ReasonCancelled    = errs.ReasonCancelled    // "cancelled" (wire errors only)
+	ReasonInternal     = errs.ReasonInternal     // "internal" (wire errors only)
+)
+
+// Wire status codes returned by Code. The values are HTTP-compatible on
+// purpose — dlserve uses them verbatim as response statuses — and are
+// never renumbered.
+const (
+	CodeOK           = errs.CodeOK           // 200
+	CodeBadRequest   = errs.CodeBadRequest   // 400 ← ErrBadConfig
+	CodeDeadlinePast = errs.CodeDeadlinePast // 410 ← ErrDeadlinePast
+	CodeInfeasible   = errs.CodeInfeasible   // 422 ← ErrInfeasible
+	CodeBusy         = errs.CodeBusy         // 429 ← ErrClusterBusy
+	CodeCancelled    = errs.CodeCancelled    // 499 ← context cancellation
+	CodeInternal     = errs.CodeInternal     // 500 ← anything else
+)
+
+// Code maps any error in the stack (including a Reason's Err) to its
+// stable wire status code; nil maps to CodeOK.
+func Code(err error) int { return errs.Code(err) }
+
+// ReasonFor classifies an error into its wire Reason (nil → ReasonNone).
+func ReasonFor(err error) Reason { return errs.ReasonFor(err) }
+
+// ParseReason parses a wire token back into its Reason; unknown tokens
+// fail with ErrBadConfig.
+func ParseReason(s string) (Reason, error) { return errs.ParseReason(s) }
+
+// Reasons lists every documented wire token, ReasonNone first.
+func Reasons() []Reason { return errs.Reasons() }

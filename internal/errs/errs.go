@@ -1,12 +1,29 @@
-// Package errs defines the sentinel errors shared across the whole stack.
-// Every layer — the DLT closed forms, the rt scheduling framework, the
-// driver and the public service — wraps its failures around one of these
-// sentinels, so callers can distinguish the failure classes with errors.Is
-// without depending on message text or on the internal package that raised
-// the error. The root rtdls package re-exports them.
+// Package errs defines the sentinel errors shared across the whole stack
+// and the wire-stable encoding of failure classes. Every layer — the DLT
+// closed forms, the rt scheduling framework, the driver and the public
+// service — wraps its failures around one of these sentinels, so callers
+// can distinguish the failure classes with errors.Is without depending on
+// message text or on the internal package that raised the error. The root
+// rtdls package re-exports them.
+//
+// For anything that crosses a process boundary (the dlserve HTTP front
+// end, serialized decisions, the event stream) the package additionally
+// defines two stable encodings that are part of the public wire contract:
+//
+//   - Reason, a string enum naming a rejection class ("infeasible",
+//     "deadline-past", "busy", ...). Reason values serialize identically in
+//     JSON decisions and stream events, round-trip through ParseReason, and
+//     still satisfy errors.Is against the sentinels.
+//   - Code, mapping any error in the stack to a stable integer wire status.
+//     The values are deliberately HTTP-compatible so the server can use
+//     them directly as response status codes.
 package errs
 
-import "errors"
+import (
+	"context"
+	"errors"
+	"fmt"
+)
 
 var (
 	// ErrInfeasible marks a clean admission rejection: no node assignment
@@ -22,8 +39,8 @@ var (
 	ErrDeadlinePast = errors.New("rtdls: absolute deadline already past at submission")
 
 	// ErrClusterBusy marks a submission the service could not consider at
-	// all: the waiting queue is at its configured bound, or the service has
-	// been closed.
+	// all: the waiting queue is at its configured bound, the service is
+	// draining, or it has been closed.
 	ErrClusterBusy = errors.New("rtdls: cluster cannot accept submissions now")
 
 	// ErrBadConfig marks invalid input — malformed tasks, cost tables,
@@ -31,3 +48,177 @@ var (
 	// well-formed admission request.
 	ErrBadConfig = errors.New("rtdls: invalid configuration")
 )
+
+// Wire status codes, the stable integer encoding of the failure classes.
+// The values are HTTP-compatible on purpose: dlserve uses them verbatim as
+// response status codes, and clients that never speak HTTP still get a
+// stable small-integer discriminator. They are part of the public wire
+// contract and must never be renumbered.
+const (
+	CodeOK           = 200 // accepted / no error
+	CodeBadRequest   = 400 // ErrBadConfig: malformed task, option or payload
+	CodeDeadlinePast = 410 // ErrDeadlinePast: absolute deadline already gone
+	CodeInfeasible   = 422 // ErrInfeasible: well-formed but unschedulable
+	CodeBusy         = 429 // ErrClusterBusy: queue bound hit, draining or closed
+	CodeCancelled    = 499 // context cancelled or its deadline exceeded
+	CodeInternal     = 500 // anything else — a bug, by definition
+)
+
+// Code maps an error anywhere in the stack to its stable wire status code.
+// A nil error (and a Reason of ReasonNone unwrapped to nil) is CodeOK;
+// wrapped errors are classified with errors.Is, so any layer's decoration
+// is transparent; an error outside every known class is CodeInternal.
+func Code(err error) int {
+	switch {
+	case err == nil:
+		return CodeOK
+	case errors.Is(err, ErrBadConfig):
+		return CodeBadRequest
+	case errors.Is(err, ErrDeadlinePast):
+		return CodeDeadlinePast
+	case errors.Is(err, ErrInfeasible):
+		return CodeInfeasible
+	case errors.Is(err, ErrClusterBusy):
+		return CodeBusy
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return CodeCancelled
+	default:
+		return CodeInternal
+	}
+}
+
+// Reason is the stable, documented string enum naming a rejection class.
+// The string value is the wire token: a Reason marshals to JSON as itself,
+// so a decision carried over HTTP, over the SSE event stream, or compared
+// in a test serializes identically everywhere. Reason also implements
+// error — Err/Unwrap map it back onto the sentinel — so pre-3.0 code that
+// matched Decision.Reason with errors.Is keeps working unchanged.
+//
+// The full enum (wire token → sentinel → code):
+//
+//	""              nil              200  accepted (ReasonNone)
+//	"infeasible"    ErrInfeasible    422
+//	"deadline-past" ErrDeadlinePast  410
+//	"busy"          ErrClusterBusy   429
+//	"bad-request"   ErrBadConfig     400  (wire errors only, never a Decision)
+//	"cancelled"     context.Canceled 499  (wire errors only, never a Decision)
+//	"internal"      —                500  (wire errors only, never a Decision)
+//
+// Tokens are append-only: new classes may be added, existing tokens are
+// never renamed or reused.
+type Reason string
+
+const (
+	// ReasonNone is the zero Reason: the task was accepted.
+	ReasonNone Reason = ""
+	// ReasonInfeasible: the schedulability test found no node assignment
+	// meeting the deadline (sentinel ErrInfeasible).
+	ReasonInfeasible Reason = "infeasible"
+	// ReasonDeadlinePast: the absolute deadline had already passed at
+	// submission (sentinel ErrDeadlinePast).
+	ReasonDeadlinePast Reason = "deadline-past"
+	// ReasonBusy: the waiting queue is at its bound, the service is
+	// draining, or it is closed (sentinel ErrClusterBusy).
+	ReasonBusy Reason = "busy"
+	// ReasonBadRequest labels malformed wire input (sentinel ErrBadConfig).
+	// It appears in wire-level error bodies only, never in a Decision.
+	ReasonBadRequest Reason = "bad-request"
+	// ReasonCancelled labels a submission abandoned by its context. Wire
+	// errors only, never a Decision.
+	ReasonCancelled Reason = "cancelled"
+	// ReasonInternal labels an unclassified server-side failure. Wire
+	// errors only, never a Decision.
+	ReasonInternal Reason = "internal"
+)
+
+// Reasons lists every documented wire token, ReasonNone first.
+func Reasons() []Reason {
+	return []Reason{
+		ReasonNone, ReasonInfeasible, ReasonDeadlinePast, ReasonBusy,
+		ReasonBadRequest, ReasonCancelled, ReasonInternal,
+	}
+}
+
+// String returns the wire token ("" for ReasonNone).
+func (r Reason) String() string { return string(r) }
+
+// OK reports whether the Reason denotes acceptance (ReasonNone).
+func (r Reason) OK() bool { return r == ReasonNone }
+
+// Err returns the sentinel error the Reason encodes: nil for ReasonNone,
+// the matching sentinel for every documented rejection token, and a
+// descriptive unclassified error for anything else (including
+// ReasonInternal, which has no sentinel).
+func (r Reason) Err() error {
+	switch r {
+	case ReasonNone:
+		return nil
+	case ReasonInfeasible:
+		return ErrInfeasible
+	case ReasonDeadlinePast:
+		return ErrDeadlinePast
+	case ReasonBusy:
+		return ErrClusterBusy
+	case ReasonBadRequest:
+		return ErrBadConfig
+	case ReasonCancelled:
+		return context.Canceled
+	default:
+		return fmt.Errorf("rtdls: unclassified rejection reason %q", string(r))
+	}
+}
+
+// Error implements error, so errors.Is(decision.Reason, ErrInfeasible)
+// works exactly as it did when Decision.Reason was a bare error value.
+func (r Reason) Error() string {
+	if err := r.Err(); err != nil {
+		return err.Error()
+	}
+	return "rtdls: accepted (no rejection reason)"
+}
+
+// Unwrap exposes the sentinel to the errors.Is/errors.As chain.
+func (r Reason) Unwrap() error { return r.Err() }
+
+// Code returns the Reason's stable wire status code.
+func (r Reason) Code() int {
+	if r == ReasonNone {
+		return CodeOK
+	}
+	return Code(r.Err())
+}
+
+// ReasonFor classifies an error into its wire Reason: nil maps to
+// ReasonNone, each sentinel (wrapped or not) to its token, context
+// cancellation to ReasonCancelled, and everything else to ReasonInternal.
+func ReasonFor(err error) Reason {
+	switch Code(err) {
+	case CodeOK:
+		return ReasonNone
+	case CodeBadRequest:
+		return ReasonBadRequest
+	case CodeDeadlinePast:
+		return ReasonDeadlinePast
+	case CodeInfeasible:
+		return ReasonInfeasible
+	case CodeBusy:
+		return ReasonBusy
+	case CodeCancelled:
+		return ReasonCancelled
+	default:
+		return ReasonInternal
+	}
+}
+
+// ParseReason parses a wire token back into its Reason, accepting exactly
+// the documented enum ("" parses to ReasonNone). Unknown tokens fail with
+// ErrBadConfig so a client talking to a newer server detects — rather than
+// silently mislabels — a reason class it does not know.
+func ParseReason(s string) (Reason, error) {
+	for _, r := range Reasons() {
+		if s == string(r) {
+			return r, nil
+		}
+	}
+	return ReasonNone, fmt.Errorf("errs: unknown reason token %q: %w", s, ErrBadConfig)
+}

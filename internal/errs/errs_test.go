@@ -1,6 +1,7 @@
 package errs_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -28,5 +29,99 @@ func TestWrappedMatch(t *testing.T) {
 	}
 	if errors.Is(err, errs.ErrInfeasible) {
 		t.Fatalf("wrapped error wrongly matches ErrInfeasible")
+	}
+}
+
+func TestCodeStable(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, errs.CodeOK},
+		{errs.ErrBadConfig, errs.CodeBadRequest},
+		{errs.ErrDeadlinePast, errs.CodeDeadlinePast},
+		{errs.ErrInfeasible, errs.CodeInfeasible},
+		{errs.ErrClusterBusy, errs.CodeBusy},
+		{fmt.Errorf("pool: shard 2: %w", errs.ErrClusterBusy), errs.CodeBusy},
+		{context.Canceled, errs.CodeCancelled},
+		{context.DeadlineExceeded, errs.CodeCancelled},
+		{errors.New("boom"), errs.CodeInternal},
+	}
+	for _, c := range cases {
+		if got := errs.Code(c.err); got != c.want {
+			t.Errorf("Code(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+	// The numeric values are wire contract: renumbering is a breaking change.
+	if errs.CodeOK != 200 || errs.CodeBadRequest != 400 || errs.CodeDeadlinePast != 410 ||
+		errs.CodeInfeasible != 422 || errs.CodeBusy != 429 || errs.CodeCancelled != 499 ||
+		errs.CodeInternal != 500 {
+		t.Fatalf("wire status codes were renumbered")
+	}
+}
+
+func TestReasonRoundTrip(t *testing.T) {
+	for _, r := range errs.Reasons() {
+		got, err := errs.ParseReason(r.String())
+		if err != nil {
+			t.Fatalf("ParseReason(%q): %v", r, err)
+		}
+		if got != r {
+			t.Fatalf("ParseReason(%q) = %q", r, got)
+		}
+	}
+	if _, err := errs.ParseReason("no-such-token"); !errors.Is(err, errs.ErrBadConfig) {
+		t.Fatalf("unknown token must fail with ErrBadConfig, got %v", err)
+	}
+	// The tokens themselves are wire contract.
+	if errs.ReasonInfeasible != "infeasible" || errs.ReasonDeadlinePast != "deadline-past" ||
+		errs.ReasonBusy != "busy" || errs.ReasonBadRequest != "bad-request" ||
+		errs.ReasonCancelled != "cancelled" || errs.ReasonInternal != "internal" {
+		t.Fatalf("reason tokens were renamed")
+	}
+}
+
+func TestReasonAsError(t *testing.T) {
+	// Reason implements error and unwraps to its sentinel, so pre-3.0
+	// errors.Is matching over Decision.Reason keeps working.
+	if !errors.Is(errs.ReasonInfeasible, errs.ErrInfeasible) {
+		t.Fatalf("ReasonInfeasible does not match ErrInfeasible")
+	}
+	if !errors.Is(errs.ReasonBusy, errs.ErrClusterBusy) {
+		t.Fatalf("ReasonBusy does not match ErrClusterBusy")
+	}
+	if errors.Is(errs.ReasonBusy, errs.ErrInfeasible) {
+		t.Fatalf("ReasonBusy wrongly matches ErrInfeasible")
+	}
+	if errors.Is(errs.ReasonNone, errs.ErrInfeasible) || !errs.ReasonNone.OK() {
+		t.Fatalf("ReasonNone must match nothing and report OK")
+	}
+	if errs.ReasonNone.Err() != nil {
+		t.Fatalf("ReasonNone.Err() = %v", errs.ReasonNone.Err())
+	}
+}
+
+func TestReasonForInvertsCode(t *testing.T) {
+	errsIn := []error{
+		nil,
+		errs.ErrBadConfig,
+		fmt.Errorf("wrapped: %w", errs.ErrDeadlinePast),
+		errs.ErrInfeasible,
+		errs.ErrClusterBusy,
+		context.Canceled,
+		errors.New("boom"),
+	}
+	wants := []errs.Reason{
+		errs.ReasonNone, errs.ReasonBadRequest, errs.ReasonDeadlinePast,
+		errs.ReasonInfeasible, errs.ReasonBusy, errs.ReasonCancelled, errs.ReasonInternal,
+	}
+	for i, e := range errsIn {
+		r := errs.ReasonFor(e)
+		if r != wants[i] {
+			t.Errorf("ReasonFor(%v) = %q, want %q", e, r, wants[i])
+		}
+		if r.Code() != errs.Code(e) {
+			t.Errorf("ReasonFor(%v).Code() = %d, Code = %d", e, r.Code(), errs.Code(e))
+		}
 	}
 }

@@ -1,0 +1,120 @@
+package load
+
+import "math"
+
+// Histogram is a log-bucketed latency histogram in the HDR style: bucket
+// boundaries grow geometrically, so relative error is bounded (~5%) across
+// the full range from 1 µs to 120 s, and quantiles far into the tail stay
+// meaningful without storing every sample. Values are wall seconds.
+//
+// A Histogram is not safe for concurrent use; give each worker its own and
+// Merge them.
+type Histogram struct {
+	counts   []uint64
+	total    uint64
+	sum      float64
+	max      float64
+	underMin uint64 // samples below histMin, counted in bucket 0
+}
+
+const (
+	histMin    = 1e-6 // 1 µs
+	histMax    = 120  // 2 min
+	histGrowth = 1.05
+)
+
+var histBuckets = int(math.Ceil(math.Log(histMax/histMin)/math.Log(histGrowth))) + 2
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make([]uint64, histBuckets)}
+}
+
+func bucketFor(v float64) int {
+	if v <= histMin {
+		return 0
+	}
+	idx := int(math.Ceil(math.Log(v/histMin) / math.Log(histGrowth)))
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// bucketUpper is the inclusive upper bound of bucket idx in seconds.
+func bucketUpper(idx int) float64 {
+	return histMin * math.Pow(histGrowth, float64(idx))
+}
+
+// Record adds one sample (in seconds). Negative samples are clamped to
+// zero — they can only arise from clock skew between goroutines.
+func (h *Histogram) Record(seconds float64) {
+	if seconds < 0 || math.IsNaN(seconds) {
+		seconds = 0
+	}
+	h.counts[bucketFor(seconds)]++
+	h.total++
+	h.sum += seconds
+	if seconds > h.max {
+		h.max = seconds
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the exact arithmetic mean of the samples in seconds.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Max returns the exact largest sample in seconds.
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) in
+// seconds: the upper edge of the bucket containing the q·Count-th sample,
+// so the true quantile is at most ~5% below the returned value. The exact
+// maximum is used for the final bucket.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			up := bucketUpper(i)
+			if up > h.max {
+				up = h.max
+			}
+			return up
+		}
+	}
+	return h.max
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.underMin += other.underMin
+}

@@ -1,0 +1,240 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"rtdls/internal/cluster"
+	"rtdls/internal/dlt"
+	"rtdls/internal/rt"
+	"rtdls/internal/server"
+	"rtdls/internal/service"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	// 1..1000 ms, uniform: p50 ≈ 0.5 s, p99 ≈ 0.99 s, within the ~5%
+	// bucket resolution.
+	for i := 1; i <= 1000; i++ {
+		h.Record(float64(i) / 1000)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	check := func(q, want float64) {
+		t.Helper()
+		got := h.Quantile(q)
+		if got < want || got > want*1.06 {
+			t.Errorf("q%.3f = %v, want within [%v, %v]", q, got, want, want*1.06)
+		}
+	}
+	check(0.50, 0.500)
+	check(0.90, 0.900)
+	check(0.99, 0.990)
+	if got := h.Quantile(1); got != 1.0 {
+		t.Errorf("q1 = %v, want exact max 1.0", got)
+	}
+	if mean := h.Mean(); math.Abs(mean-0.5005) > 1e-9 {
+		t.Errorf("mean = %v", mean)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 0; i < 100; i++ {
+		a.Record(0.001)
+		b.Record(1.0)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("count = %d", a.Count())
+	}
+	if q := a.Quantile(0.25); q > 0.0011 {
+		t.Errorf("p25 = %v, want ~1ms", q)
+	}
+	if q := a.Quantile(0.99); q < 0.9 {
+		t.Errorf("p99 = %v, want ~1s", q)
+	}
+	if a.Max() != 1.0 {
+		t.Errorf("max = %v", a.Max())
+	}
+}
+
+func TestHistogramRange(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-1)   // clamped
+	h.Record(1e-9) // below range
+	h.Record(1e4)  // above range, clamped into last bucket
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 1e4 {
+		t.Fatalf("max = %v", h.Max())
+	}
+}
+
+// newWireServer boots a full dlserve handler over a fresh engine.
+func newWireServer(t *testing.T) (*httptest.Server, *server.Server) {
+	t.Helper()
+	cl, err := cluster.New(16, dlt.Params{Cms: 1, Cps: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := service.New(service.Config{
+		Cluster: cl, Policy: rt.EDF, Partitioner: rt.IITDLT{},
+		Clock: service.NewWallClock(100000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Engine: eng, Scale: 100000, Version: "load-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+func TestRunClosedLoop(t *testing.T) {
+	ts, _ := newWireServer(t)
+	rep, err := Run(context.Background(), Options{
+		URL: ts.URL, Mode: "closed", Workers: 8, N: 200,
+		Sigma: 200, Deadline: 1e6, Seed: 1,
+		Client: ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 200 {
+		t.Fatalf("requests = %d, want 200", rep.Requests)
+	}
+	if rep.HTTP5xx != 0 || rep.TransportErrors != 0 {
+		t.Fatalf("errors: %+v", rep)
+	}
+	if rep.Accepted == 0 {
+		t.Fatalf("no task accepted: %+v", rep)
+	}
+	if rep.Latency.Samples != 200 || rep.Latency.P99Ms <= 0 {
+		t.Fatalf("latency = %+v", rep.Latency)
+	}
+	if rep.ServerStats == nil {
+		t.Fatal("missing server stats snapshot")
+	}
+	var st map[string]any
+	if err := json.Unmarshal(rep.ServerStats, &st); err != nil {
+		t.Fatal(err)
+	}
+	if got := st["Arrivals"]; got != float64(200) {
+		t.Fatalf("server arrivals = %v", got)
+	}
+
+	out := filepath.Join(t.TempDir(), "BENCH_wire.json")
+	if err := rep.WriteJSON(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOpenLoop(t *testing.T) {
+	ts, _ := newWireServer(t)
+	rep, err := Run(context.Background(), Options{
+		URL: ts.URL, Mode: "open", N: 100, Rate: 2000, Burst: 10,
+		Sigma: 200, Deadline: 1e6, Seed: 7,
+		Client: ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 100 || rep.HTTP5xx != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Latency.Samples != 100 {
+		t.Fatalf("latency samples = %d", rep.Latency.Samples)
+	}
+}
+
+// TestRunObservesRetryAfter saturates a MaxQueue=1 engine so busy
+// rejections occur, and asserts the harness sees their Retry-After hints.
+func TestRunObservesRetryAfter(t *testing.T) {
+	cl, err := cluster.New(4, dlt.Params{Cms: 1, Cps: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := service.New(service.Config{
+		Cluster: cl, Policy: rt.EDF, Partitioner: rt.IITDLT{},
+		Clock: service.NewManualClock(0), MaxQueue: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Engine: eng, Scale: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// The clock never advances, so accepted plans stay queued: after the
+	// first couple of admissions everything else bounces busy.
+	rep, err := Run(context.Background(), Options{
+		URL: ts.URL, Mode: "closed", Workers: 4, N: 50,
+		Sigma: 200, Deadline: 1e6, Seed: 3,
+		Client: ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RejectedBusy == 0 {
+		t.Fatalf("expected busy rejections: %+v", rep)
+	}
+	if !rep.RetryAfter.Compliant || rep.RetryAfter.Observed != rep.RejectedBusy {
+		t.Fatalf("retry-after = %+v (busy=%d)", rep.RetryAfter, rep.RejectedBusy)
+	}
+	if rep.RetryAfter.MinSeconds < 1 {
+		t.Fatalf("retry-after min = %v", rep.RetryAfter.MinSeconds)
+	}
+}
+
+func TestArrivalSchedule(t *testing.T) {
+	offs := arrivalSchedule(1000, 500, 1, 42)
+	if len(offs) != 1000 {
+		t.Fatalf("len = %d", len(offs))
+	}
+	for i := 1; i < len(offs); i++ {
+		if offs[i] < offs[i-1] {
+			t.Fatalf("schedule not monotone at %d", i)
+		}
+	}
+	// Mean rate within 20% of nominal over 1000 draws.
+	rate := float64(len(offs)) / offs[len(offs)-1]
+	if rate < 400 || rate > 600 {
+		t.Fatalf("empirical rate = %v, want ~500", rate)
+	}
+	// Bursty schedule: same count, grouped offsets.
+	burst := arrivalSchedule(100, 500, 10, 42)
+	if len(burst) != 100 {
+		t.Fatalf("burst len = %d", len(burst))
+	}
+	if burst[0] != burst[9] {
+		t.Fatalf("first burst not grouped: %v vs %v", burst[0], burst[9])
+	}
+	if burst[9] == burst[10] {
+		t.Fatal("burst boundary missing gap")
+	}
+}
+
+func TestRunRejectsBadOptions(t *testing.T) {
+	if _, err := Run(context.Background(), Options{}); err == nil {
+		t.Fatal("empty URL accepted")
+	}
+	if _, err := Run(context.Background(), Options{URL: "http://x", Mode: "weird", N: 1}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if _, err := Run(context.Background(), Options{URL: "http://x", Mode: "open", N: 10}); err == nil {
+		t.Fatal("open mode without rate accepted")
+	}
+}

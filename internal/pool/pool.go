@@ -79,6 +79,7 @@ type Pool struct {
 	rejects    atomic.Int64
 	spillovers atomic.Int64 // accepts that needed at least one retry
 	closed     atomic.Bool
+	draining   atomic.Bool // admission gate (SetAccepting(false))
 
 	scratch sync.Pool // *placeScratch, reused across submissions
 }
@@ -184,6 +185,9 @@ func (p *Pool) Submit(ctx context.Context, task rt.Task) (service.Decision, erro
 	if p.closed.Load() {
 		return service.Decision{}, fmt.Errorf("pool: closed: %w", errs.ErrClusterBusy)
 	}
+	if p.draining.Load() {
+		return service.Decision{}, fmt.Errorf("pool: draining: %w", errs.ErrClusterBusy)
+	}
 	seq := p.seq.Add(1) - 1
 
 	sc := p.scratch.Get().(*placeScratch)
@@ -254,6 +258,18 @@ func (p *Pool) SubmitBatch(ctx context.Context, tasks []rt.Task) ([]service.Deci
 func (p *Pool) Subscribe(buffer int) (<-chan Event, func()) {
 	return p.bus.Subscribe(buffer)
 }
+
+// SubscribeStream attaches a consumer to the merged stream and returns its
+// Subscription handle, exposing the subscriber's own dropped-event count.
+func (p *Pool) SubscribeStream(buffer int) *service.Subscription {
+	return p.bus.SubscribeStream(buffer)
+}
+
+// SetAccepting flips the pool-wide admission gate: while false, every
+// submission fails fast with ErrClusterBusy before placement runs, while
+// commits and the event stream keep operating — the first step of a
+// graceful drain. Reversible until Close.
+func (p *Pool) SetAccepting(accepting bool) { p.draining.Store(!accepting) }
 
 // Event re-exports the service event type for pool subscribers.
 type Event = service.Event

@@ -270,3 +270,47 @@ func TestHeterogeneousShardSizes(t *testing.T) {
 		t.Fatalf("Clusters() = %v", got)
 	}
 }
+
+func TestPoolSetAcceptingGate(t *testing.T) {
+	p := newPool(t, 2, 8, RoundRobin{})
+	defer p.Close()
+	ctx := context.Background()
+	if d, err := p.Submit(ctx, rt.Task{ID: 1, Sigma: 150, RelDeadline: 1e6}); err != nil || !d.Accepted {
+		t.Fatalf("submit before gate: %+v, %v", d, err)
+	}
+	p.SetAccepting(false)
+	if _, err := p.Submit(ctx, rt.Task{ID: 2, Sigma: 150, RelDeadline: 1e6}); !errors.Is(err, errs.ErrClusterBusy) {
+		t.Fatalf("gated submit err = %v, want ErrClusterBusy", err)
+	}
+	p.SetAccepting(true)
+	if d, err := p.Submit(ctx, rt.Task{ID: 3, Sigma: 150, RelDeadline: 1e6}); err != nil || !d.Accepted {
+		t.Fatalf("submit after reopen: %+v, %v", d, err)
+	}
+	// Drain after gating commits everything accepted.
+	p.SetAccepting(false)
+	if err := p.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Commits != st.Accepts || st.QueueLen != 0 {
+		t.Fatalf("drain lost work: %+v", st)
+	}
+}
+
+func TestPoolSubscribeStreamGap(t *testing.T) {
+	p := newPool(t, 2, 8, RoundRobin{})
+	defer p.Close()
+	sub := p.SubscribeStream(1)
+	defer sub.Cancel()
+	ctx := context.Background()
+	for i := 1; i <= 4; i++ {
+		if _, err := p.Submit(ctx, rt.Task{ID: int64(i), Sigma: 150, RelDeadline: 1e6}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sub.Dropped() < 3 {
+		t.Fatalf("Dropped() = %d, want >= 3", sub.Dropped())
+	}
+	if st := p.Stats(); st.EventsDropped != sub.Dropped() {
+		t.Fatalf("aggregate EventsDropped %d != subscriber %d", st.EventsDropped, sub.Dropped())
+	}
+}

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+)
+
+// statusRecorder captures the response status for accounting and logging.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer so the SSE handler still sees an
+// http.Flusher through the recorder.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// TimeoutHeader is the request header carrying a per-request deadline in
+// wall seconds (a float, e.g. "0.25"). The server propagates it as a
+// context deadline, so a submission abandoned by its client stops before
+// taking the scheduler lock and returns 499.
+const TimeoutHeader = "X-Request-Timeout"
+
+// middleware wraps the mux with panic recovery, request/5xx accounting,
+// optional logging, and per-request deadline propagation.
+func (s *Server) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		s.requests.Add(1)
+
+		if v := r.Header.Get(TimeoutHeader); v != "" {
+			if secs, err := strconv.ParseFloat(v, 64); err == nil && secs > 0 {
+				ctx, cancel := context.WithTimeout(r.Context(), time.Duration(secs*float64(time.Second)))
+				defer cancel()
+				r = r.WithContext(ctx)
+			}
+		}
+
+		defer func() {
+			if p := recover(); p != nil {
+				if rec.status == 0 {
+					http.Error(rec, "internal server error", http.StatusInternalServerError)
+				}
+				if s.logf != nil {
+					s.logf("panic: %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				}
+			}
+			if rec.status >= 500 {
+				s.fivexx.Add(1)
+			}
+			if s.logf != nil {
+				s.logf("%s %s -> %d (%s)", r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+			}
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}

@@ -1,0 +1,376 @@
+// Package server puts the admission-control engine on the wire: an
+// HTTP/JSON front end over the same Engine surface the in-process API
+// exposes, so the paper's schedulability test is reachable from any
+// language and measurable under real network load.
+//
+// The wire contract (all request/response bodies are JSON):
+//
+//	POST /v1/submit        one task  → one decision
+//	POST /v1/submit/batch  {"tasks": [...]} → {"decisions": [...]}
+//	GET  /v1/stats         aggregate admission/cluster snapshot
+//	GET  /v1/events        Server-Sent Events stream of accept/reject/
+//	                       commit events (plus explicit "gap" notices when
+//	                       the subscriber lost events)
+//	GET  /healthz          liveness + drain state
+//
+// Response status codes are exactly the stable wire codes of
+// internal/errs: an accepted submission is 200; a clean rejection carries
+// the decision body under the reason's code (422 infeasible, 410 deadline
+// past, 429 busy); malformed input is 400. Busy rejections (and the 503
+// during drain) carry a Retry-After header derived from the engine's
+// current queue slack — the next pending commit instant converted to wall
+// seconds — so well-behaved clients back off for exactly as long as the
+// backlog needs to move.
+//
+// Shutdown is graceful: Drain flips the engine's admission gate (new
+// submissions bounce with 503 + Retry-After), pumps every committed-but-
+// waiting plan, then closes the engine, which ends every event stream.
+// No accepted task is ever lost to a SIGTERM.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"rtdls/internal/errs"
+	"rtdls/internal/rt"
+	"rtdls/internal/service"
+)
+
+// Engine is the admission surface the server fronts. Both the public
+// rtdls.Service (single cluster or sharded pool) and the internal
+// service.Engine implementations satisfy it.
+type Engine interface {
+	Submit(ctx context.Context, t rt.Task) (service.Decision, error)
+	SubmitBatch(ctx context.Context, tasks []rt.Task) ([]service.Decision, error)
+	SubscribeStream(buffer int) *service.Subscription
+	Stats() service.Stats
+	NextCommit() (at float64, ok bool)
+	SetAccepting(accepting bool)
+	Drain() error
+	Close() error
+	Clock() service.Clock
+}
+
+// Config assembles a Server. Engine is mandatory.
+type Config struct {
+	Engine Engine
+
+	// Scale is the engine clock's simulation-time units per wall second
+	// (the value passed to NewWallClock). It converts queue slack into
+	// Retry-After seconds; <= 0 defaults to 1.
+	Scale float64
+
+	// MaxBody bounds a request body in bytes (default 1 MiB).
+	MaxBody int64
+
+	// MaxBatch bounds the task count of one batch submission (default
+	// 4096); larger batches are refused with 413.
+	MaxBatch int
+
+	// MaxRetryAfter caps the advertised Retry-After in seconds (default
+	// 60).
+	MaxRetryAfter float64
+
+	// Version is reported by /v1/stats (e.g. rtdls.Version).
+	Version string
+
+	// Logf, when non-nil, receives one line per request and per lifecycle
+	// transition (drain, panic recovery).
+	Logf func(format string, args ...any)
+}
+
+// Server is the HTTP front end. Construct with New, mount Handler on an
+// http.Server, and call Drain on shutdown.
+type Server struct {
+	eng           Engine
+	scale         float64
+	maxBody       int64
+	maxBatch      int
+	maxRetryAfter float64
+	version       string
+	logf          func(string, ...any)
+	start         time.Time
+
+	draining atomic.Bool
+	requests atomic.Int64
+	fivexx   atomic.Int64
+}
+
+// New validates the configuration and returns a ready server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("server: nil engine: %w", errs.ErrBadConfig)
+	}
+	if cfg.Scale <= 0 || math.IsNaN(cfg.Scale) || math.IsInf(cfg.Scale, 0) {
+		cfg.Scale = 1
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = 1 << 20
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 4096
+	}
+	if cfg.MaxRetryAfter <= 0 {
+		cfg.MaxRetryAfter = 60
+	}
+	return &Server{
+		eng:           cfg.Engine,
+		scale:         cfg.Scale,
+		maxBody:       cfg.MaxBody,
+		maxBatch:      cfg.MaxBatch,
+		maxRetryAfter: cfg.MaxRetryAfter,
+		version:       cfg.Version,
+		logf:          cfg.Logf,
+		start:         time.Now(),
+	}, nil
+}
+
+// Handler returns the server's routed handler with the standard middleware
+// (panic recovery, 5xx accounting, per-request deadline propagation)
+// applied.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/submit", s.handleSubmit)
+	mux.HandleFunc("POST /v1/submit/batch", s.handleSubmitBatch)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s.middleware(mux)
+}
+
+// Draining reports whether Drain has started.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Requests returns how many HTTP requests the server has handled and how
+// many of them ended in a 5xx status.
+func (s *Server) Requests() (total, fivexx int64) {
+	return s.requests.Load(), s.fivexx.Load()
+}
+
+// Drain performs the graceful-shutdown sequence: stop accepting (both at
+// the HTTP layer and at the engine's admission gate), commit every waiting
+// plan, then close the engine, which flushes and terminates every event
+// subscriber. Safe to call once; the ctx bounds only the caller's
+// patience — the engine drain itself is not abortable halfway (a plan is
+// either committed or still queued, never lost).
+func (s *Server) Drain(ctx context.Context) error {
+	if s.draining.Swap(true) {
+		return nil
+	}
+	if s.logf != nil {
+		s.logf("drain: admission gate closed, pumping committed work")
+	}
+	s.eng.SetAccepting(false)
+	done := make(chan error, 1)
+	go func() { done <- s.eng.Drain() }()
+	var err error
+	select {
+	case err = <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	if cerr := s.eng.Close(); err == nil {
+		err = cerr
+	}
+	if s.logf != nil {
+		st := s.eng.Stats()
+		s.logf("drain: done (accepts=%d commits=%d queue=%d err=%v)",
+			st.Accepts, st.Commits, st.QueueLen, err)
+	}
+	return err
+}
+
+// retryAfterSeconds derives the Retry-After hint from the engine's current
+// queue slack: the earliest pending commit instant, converted from
+// simulation units to wall seconds. With nothing queued (or the commit
+// already due) the floor of one second applies, so clients never busy-loop.
+func (s *Server) retryAfterSeconds() float64 {
+	now := s.eng.Clock().Now()
+	secs := 1.0
+	if at, ok := s.eng.NextCommit(); ok && at > now {
+		secs = (at - now) / s.scale
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > s.maxRetryAfter {
+		secs = s.maxRetryAfter
+	}
+	return secs
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeUnavailable(w)
+		return
+	}
+	var req TaskRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	task, err := req.Task()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	dec, err := s.eng.Submit(r.Context(), task)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeDecision(w, dec)
+}
+
+func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeUnavailable(w)
+		return
+	}
+	var req BatchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Tasks) == 0 {
+		s.writeError(w, fmt.Errorf("server: empty batch: %w", errs.ErrBadConfig))
+		return
+	}
+	if len(req.Tasks) > s.maxBatch {
+		s.writeJSON(w, http.StatusRequestEntityTooLarge, ErrorResponse{
+			Error:  fmt.Sprintf("server: batch of %d exceeds limit %d", len(req.Tasks), s.maxBatch),
+			Code:   http.StatusRequestEntityTooLarge,
+			Reason: errs.ReasonBadRequest,
+		})
+		return
+	}
+	tasks := make([]rt.Task, len(req.Tasks))
+	for i, tr := range req.Tasks {
+		t, err := tr.Task()
+		if err != nil {
+			s.writeError(w, fmt.Errorf("server: batch task %d: %w", i, err))
+			return
+		}
+		tasks[i] = t
+	}
+	decs, err := s.eng.SubmitBatch(r.Context(), tasks)
+	resp := BatchResponse{Decisions: make([]DecisionResponse, len(decs))}
+	for i, d := range decs {
+		resp.Decisions[i] = decisionResponse(d, s)
+		if d.Accepted {
+			resp.Accepted++
+		} else {
+			resp.Rejected++
+		}
+	}
+	if err != nil {
+		// Partial batch: return the decisions made so far under the hard
+		// error's status so the client can resubmit the tail.
+		resp.Error = err.Error()
+		resp.ErrorReason = errs.ReasonFor(err)
+		s.writeJSON(w, errs.Code(err), resp)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	total, fivexx := s.Requests()
+	resp := StatsResponse{
+		Stats:         st,
+		Version:       s.version,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Draining:      s.draining.Load(),
+		HTTPRequests:  total,
+		HTTP5xx:       fivexx,
+		RejectRatio:   st.RejectRatio(),
+	}
+	if at, ok := s.eng.NextCommit(); ok {
+		resp.NextCommit = &at
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// writeUnavailable answers a submission received while draining: 503 with
+// a Retry-After so load balancers and clients move on promptly.
+func (s *Server) writeUnavailable(w http.ResponseWriter) {
+	secs := s.retryAfterSeconds()
+	w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(secs))))
+	s.writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{
+		Error:      "server: draining, not accepting submissions",
+		Code:       http.StatusServiceUnavailable,
+		Reason:     errs.ReasonBusy,
+		RetryAfter: secs,
+	})
+}
+
+// writeDecision maps a clean decision onto the wire: 200 for an accept,
+// the reason's stable code for a rejection, with Retry-After on busy.
+func (s *Server) writeDecision(w http.ResponseWriter, d service.Decision) {
+	resp := decisionResponse(d, s)
+	status := http.StatusOK
+	if !d.Accepted {
+		status = d.Reason.Code()
+		if status == errs.CodeBusy {
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(resp.RetryAfter))))
+		}
+	}
+	s.writeJSON(w, status, resp)
+}
+
+// writeError maps a hard error (malformed input, closed/draining engine,
+// cancelled context) onto its stable wire code.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	code := errs.Code(err)
+	resp := ErrorResponse{Error: err.Error(), Code: code, Reason: errs.ReasonFor(err)}
+	if code == errs.CodeBusy {
+		resp.RetryAfter = s.retryAfterSeconds()
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(resp.RetryAfter))))
+	}
+	s.writeJSON(w, code, resp)
+}
+
+// decodeBody parses a JSON request body with the size bound and strict
+// field checking; on failure it writes the 400 and reports false.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			s.writeJSON(w, http.StatusRequestEntityTooLarge, ErrorResponse{
+				Error:  fmt.Sprintf("server: body exceeds %d bytes", maxErr.Limit),
+				Code:   http.StatusRequestEntityTooLarge,
+				Reason: errs.ReasonBadRequest,
+			})
+			return false
+		}
+		s.writeError(w, fmt.Errorf("server: malformed request body: %v: %w", err, errs.ErrBadConfig))
+		return false
+	}
+	return true
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(body); err != nil && s.logf != nil {
+		s.logf("write: %v", err)
+	}
+}

@@ -18,6 +18,13 @@ type Engine interface {
 	SubmitBatch(ctx context.Context, tasks []rt.Task) ([]Decision, error)
 	// Subscribe attaches a consumer to the decision/lifecycle event stream.
 	Subscribe(buffer int) (<-chan Event, func())
+	// SubscribeStream attaches a consumer and returns its Subscription
+	// handle, exposing the subscriber's own dropped-event count.
+	SubscribeStream(buffer int) *Subscription
+	// SetAccepting flips the admission gate: while false, submissions fail
+	// fast with ErrClusterBusy while commits and the event stream keep
+	// running — the first step of a graceful drain.
+	SetAccepting(accepting bool)
 	// Stats returns a snapshot of admission counters and cluster accounting,
 	// aggregated over every shard.
 	Stats() Stats

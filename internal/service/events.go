@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"rtdls/internal/errs"
 	"rtdls/internal/rt"
 )
 
@@ -50,9 +51,10 @@ type Event struct {
 	Nodes int
 	Est   float64
 
-	// Reason is the typed rejection cause (Reject events only): one of
-	// errs.ErrInfeasible, errs.ErrDeadlinePast, errs.ErrClusterBusy.
-	Reason error
+	// Reason is the wire-stable rejection reason (Reject events only):
+	// ReasonInfeasible, ReasonDeadlinePast or ReasonBusy. It serializes as
+	// its string token and still matches the sentinels under errors.Is.
+	Reason errs.Reason `json:",omitempty"`
 }
 
 // subscriber is one event-stream consumer with a private buffered channel.
@@ -80,37 +82,74 @@ func NewBus() *Bus {
 
 // Subscribe registers a consumer with the given channel buffer (minimum 1)
 // and returns its channel plus a cancel function. After cancel (or bus
-// close) the channel is closed.
+// close) the channel is closed. Consumers that need to detect their own
+// gaps should use SubscribeStream instead, whose handle exposes the
+// per-subscriber dropped count.
 func (b *Bus) Subscribe(buffer int) (<-chan Event, func()) {
+	sub := b.SubscribeStream(buffer)
+	return sub.C(), sub.Cancel
+}
+
+// Subscription is one consumer's handle on the event stream. Unlike the
+// plain Subscribe channel, it exposes the subscriber's own dropped-event
+// count, so a lossy consumer (an SSE streamer, a remote replicator) can
+// detect exactly how many events it missed and surface the gap instead of
+// silently skipping decisions.
+type Subscription struct {
+	b    *Bus
+	s    *subscriber
+	once sync.Once
+}
+
+// SubscribeStream registers a consumer with the given channel buffer
+// (minimum 1) and returns its Subscription handle. On a closed bus the
+// returned subscription is already terminated (its channel is closed).
+func (b *Bus) SubscribeStream(buffer int) *Subscription {
 	if buffer < 1 {
 		buffer = 1
 	}
 	s := &subscriber{ch: make(chan Event, buffer)}
+	sub := &Subscription{b: b, s: s}
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
 		close(s.ch)
-		return s.ch, func() {}
+		sub.once.Do(func() {}) // already terminated; Cancel is a no-op
+		return sub
 	}
 	b.subs[s] = struct{}{}
 	b.mu.Unlock()
+	return sub
+}
 
-	var once sync.Once
-	cancel := func() {
-		once.Do(func() {
-			b.mu.Lock()
-			_, live := b.subs[s]
-			delete(b.subs, s)
-			if live {
-				b.lost += s.dropped
-			}
-			b.mu.Unlock()
-			if live {
-				close(s.ch)
-			}
-		})
-	}
-	return s.ch, cancel
+// C returns the subscription's event channel. It is closed by Cancel or
+// when the bus closes.
+func (sub *Subscription) C() <-chan Event { return sub.s.ch }
+
+// Dropped returns how many events this subscriber has lost so far because
+// its buffer was full. The count is monotone and remains readable after
+// the subscription ends.
+func (sub *Subscription) Dropped() uint64 {
+	sub.b.mu.Lock()
+	defer sub.b.mu.Unlock()
+	return sub.s.dropped
+}
+
+// Cancel detaches the subscriber and closes its channel. Idempotent, and a
+// no-op after the bus itself has closed the subscription.
+func (sub *Subscription) Cancel() {
+	sub.once.Do(func() {
+		sub.b.mu.Lock()
+		_, live := sub.b.subs[sub.s]
+		delete(sub.b.subs, sub.s)
+		if live {
+			sub.b.lost += sub.s.dropped
+		}
+		sub.b.mu.Unlock()
+		if live {
+			close(sub.s.ch)
+		}
+	})
 }
 
 // Publish delivers ev to every subscriber without blocking.

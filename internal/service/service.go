@@ -66,9 +66,11 @@ type Decision struct {
 	// (for an accept, the shard the task will run on).
 	Shard int
 
-	// Reason is nil when accepted; otherwise one of errs.ErrInfeasible,
-	// errs.ErrDeadlinePast, errs.ErrClusterBusy (errors.Is-matchable).
-	Reason error
+	// Reason is the wire-stable rejection reason: ReasonNone when accepted,
+	// otherwise ReasonInfeasible, ReasonDeadlinePast or ReasonBusy. It
+	// serializes as its string token (identically in JSON and on the event
+	// stream) and still matches the sentinels under errors.Is.
+	Reason errs.Reason `json:",omitempty"`
 
 	// Plan details, populated only when accepted. Slices are copies owned
 	// by the caller, parallel and in dispatch order.
@@ -134,8 +136,9 @@ type Service struct {
 	// the bus is shared across a pool's shards).
 	ownBus bool
 
-	maxQueue int
-	closed   bool
+	maxQueue  int
+	closed    bool
+	accepting bool
 
 	arrivals int
 	accepts  int
@@ -170,15 +173,16 @@ func New(cfg Config) (*Service, error) {
 		bus, ownBus = NewBus(), true
 	}
 	return &Service{
-		cl:       cfg.Cluster,
-		sched:    sched,
-		clock:    clock,
-		obs:      cfg.Observer,
-		bus:      bus,
-		shard:    cfg.Shard,
-		ownBus:   ownBus,
-		maxQueue: cfg.MaxQueue,
-		exec:     ExecStats{MaxLateness: math.Inf(-1)},
+		cl:        cfg.Cluster,
+		sched:     sched,
+		clock:     clock,
+		obs:       cfg.Observer,
+		bus:       bus,
+		shard:     cfg.Shard,
+		ownBus:    ownBus,
+		maxQueue:  cfg.MaxQueue,
+		accepting: true,
+		exec:      ExecStats{MaxLateness: math.Inf(-1)},
 	}, nil
 }
 
@@ -245,6 +249,9 @@ func (s *Service) submitLocked(task rt.Task) (Decision, error) {
 	if s.closed {
 		return Decision{}, fmt.Errorf("service: closed: %w", errs.ErrClusterBusy)
 	}
+	if !s.accepting {
+		return Decision{}, fmt.Errorf("service: draining: %w", errs.ErrClusterBusy)
+	}
 	now := s.clock.Now()
 	if task.Arrival == 0 && now > 0 {
 		task.Arrival = now
@@ -263,10 +270,10 @@ func (s *Service) submitLocked(task rt.Task) (Decision, error) {
 	}
 
 	if t.AbsDeadline() <= now {
-		return s.rejectLocked(t, now, errs.ErrDeadlinePast), nil
+		return s.rejectLocked(t, now, errs.ReasonDeadlinePast), nil
 	}
 	if s.maxQueue > 0 && s.sched.Stats().QueueLen >= s.maxQueue {
-		return s.rejectLocked(t, now, errs.ErrClusterBusy), nil
+		return s.rejectLocked(t, now, errs.ReasonBusy), nil
 	}
 
 	accepted, err := s.sched.Submit(t, now)
@@ -278,8 +285,8 @@ func (s *Service) submitLocked(task rt.Task) (Decision, error) {
 		// The scheduler already notified the legacy observer; publish the
 		// typed stream event here.
 		s.rejects++
-		d := Decision{TaskID: t.ID, At: now, Shard: s.shard, Reason: errs.ErrInfeasible}
-		s.publishLocked(Event{Kind: EventReject, Time: now, Task: *t, Reason: errs.ErrInfeasible})
+		d := Decision{TaskID: t.ID, At: now, Shard: s.shard, Reason: errs.ReasonInfeasible}
+		s.publishLocked(Event{Kind: EventReject, Time: now, Task: *t, Reason: errs.ReasonInfeasible})
 		return d, nil
 	}
 	s.accepts++
@@ -304,7 +311,7 @@ func (s *Service) submitLocked(task rt.Task) (Decision, error) {
 
 // rejectLocked records a service-level rejection (the schedulability test
 // did not run) and notifies both the legacy observer and the stream.
-func (s *Service) rejectLocked(t *rt.Task, now float64, reason error) Decision {
+func (s *Service) rejectLocked(t *rt.Task, now float64, reason errs.Reason) Decision {
 	s.arrivals++
 	s.rejects++
 	if s.obs != nil {
@@ -434,6 +441,24 @@ func (s *Service) Exec() ExecStats {
 // (counted in Stats.EventsDropped) rather than blocking admission control.
 func (s *Service) Subscribe(buffer int) (<-chan Event, func()) {
 	return s.bus.Subscribe(buffer)
+}
+
+// SubscribeStream attaches a consumer and returns its Subscription handle,
+// whose Dropped counter lets the consumer detect its own event gaps
+// (Stats.EventsDropped only reports the bus-wide total).
+func (s *Service) SubscribeStream(buffer int) *Subscription {
+	return s.bus.SubscribeStream(buffer)
+}
+
+// SetAccepting flips the admission gate: while false, every submission
+// fails fast with ErrClusterBusy (a hard error, not a decision) and the
+// queue, commits and event stream keep operating. It is the first step of
+// a graceful drain — stop accepting, Drain, then Close — and is reversible
+// until Close.
+func (s *Service) SetAccepting(accepting bool) {
+	s.mu.Lock()
+	s.accepting = accepting
+	s.mu.Unlock()
 }
 
 // QueueLen returns the number of admitted-but-uncommitted tasks — the

@@ -50,7 +50,7 @@ func TestSubmitAcceptCarriesPlan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !dec.Accepted || dec.Reason != nil {
+	if !dec.Accepted || !dec.Reason.OK() {
 		t.Fatalf("decision = %+v, want accepted", dec)
 	}
 	if len(dec.Nodes) == 0 || len(dec.Nodes) != len(dec.Starts) || len(dec.Nodes) != len(dec.Alphas) {

@@ -2,7 +2,6 @@ package rtdls_test
 
 import (
 	"context"
-	"errors"
 	"math"
 	"testing"
 
@@ -81,9 +80,8 @@ func TestWithShardsOneIsBitIdentical(t *testing.T) {
 					math.Float64bits(a.At) != math.Float64bits(b.At) {
 					t.Fatalf("%s task %d: decisions diverge: %+v vs %+v", label, a.TaskID, a, b)
 				}
-				if (a.Reason == nil) != (b.Reason == nil) ||
-					(a.Reason != nil && !errors.Is(b.Reason, errorsUnwrapSentinel(a.Reason))) {
-					t.Fatalf("%s task %d: reasons diverge: %v vs %v", label, a.TaskID, a.Reason, b.Reason)
+				if a.Reason != b.Reason {
+					t.Fatalf("%s task %d: reasons diverge: %q vs %q", label, a.TaskID, a.Reason, b.Reason)
 				}
 				if !a.Accepted {
 					continue
@@ -123,17 +121,6 @@ func TestWithShardsOneIsBitIdentical(t *testing.T) {
 			pooled.Close()
 		}
 	}
-}
-
-// errorsUnwrapSentinel maps a typed rejection to its sentinel for
-// errors.Is comparison across the two services.
-func errorsUnwrapSentinel(err error) error {
-	for _, sentinel := range []error{rtdls.ErrInfeasible, rtdls.ErrDeadlinePast, rtdls.ErrClusterBusy} {
-		if errors.Is(err, sentinel) {
-			return sentinel
-		}
-	}
-	return err
 }
 
 // TestServiceShardedFleet exercises the public multi-shard surface: a

@@ -16,11 +16,13 @@ import (
 
 // Version identifies this release of the library. 2.0.0 redesigned the
 // public API around the long-lived rtdls.Service (see New, Submit,
-// Subscribe); the 1.x Config/Run surface remains as deprecated shims.
-// 2.1.0 sharded the service into a multi-cluster admission pool with a
-// pluggable placement layer (WithShards, WithPlacement) and removed the
-// long-deprecated rt.Scheduler counter accessors.
-const Version = "2.1.0"
+// Subscribe). 2.1.0 sharded the service into a multi-cluster admission
+// pool with a pluggable placement layer (WithShards, WithPlacement).
+// 3.0.0 put the service on the wire — the dlserve HTTP/JSON front end and
+// the dlload load harness, with the wire-stable Reason enum and Code
+// status mapping — and removed the deprecated 1.x Config/Run/RunSeries
+// batch shims (use Simulate/SimulateSeries with BaselineWorkload).
+const Version = "3.0.0"
 
 // Params holds the cluster's linear cost coefficients: Cms is the time to
 // transmit one unit of load from the head node to a processing node, Cps
@@ -91,47 +93,10 @@ const (
 // Algorithms lists every supported algorithm identifier.
 func Algorithms() []string { return driver.Algorithms() }
 
-// Config fully specifies one simulation run; see Baseline for the paper's
-// baseline parameters.
-//
-// Deprecated: new code should describe the cluster with functional options
-// and the workload with a Workload value, then call Simulate. Config
-// remains supported and Run(cfg) reproduces pre-2.0 results bit for bit.
-type Config = driver.Config
-
-// Result carries one run's admission and execution metrics.
+// Result carries one run's admission and execution metrics. Simulate and
+// SimulateSeries return it; the deprecated 1.x Config/Run/RunSeries batch
+// shims that used to produce it were removed in 3.0.0.
 type Result = driver.Result
-
-// Baseline returns the paper's baseline configuration (Sec. 5.1): N=16,
-// Cms=1, Cps=100, Avgσ=200, DCRatio=2, EDF-DLT, horizon 10⁷ time units.
-func Baseline() Config { return driver.Default() }
-
-// Run executes one end-to-end simulation: Poisson arrivals of divisible
-// tasks admission-tested by the configured algorithm on a discrete-event
-// cluster model. Since 2.0 it is a thin adapter that replays the workload
-// through the same admission Service the online API exposes.
-//
-// Deprecated: use Simulate with functional options. Run remains supported
-// and reproduces pre-2.0 results bit for bit.
-func Run(cfg Config) (*Result, error) { return driver.Run(cfg) }
-
-// RunSeries runs the configuration across several SystemLoad values,
-// returning one Result per load.
-//
-// Deprecated: use SimulateSeries.
-func RunSeries(cfg Config, loads []float64) ([]*Result, error) {
-	out := make([]*Result, 0, len(loads))
-	for _, l := range loads {
-		c := cfg
-		c.SystemLoad = l
-		r, err := Run(c)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
-}
 
 // Cluster models the homogeneous star cluster (head node, N workers,
 // per-node release times and accounting).

@@ -7,31 +7,16 @@ import (
 	"rtdls"
 )
 
-func TestFacadeRun(t *testing.T) {
-	cfg := rtdls.Baseline()
-	cfg.Horizon = 2e5
-	cfg.SystemLoad = 0.6
-	r, err := rtdls.Run(cfg)
+func TestFacadeSimulate(t *testing.T) {
+	w := rtdls.BaselineWorkload()
+	w.Horizon = 2e5
+	w.SystemLoad = 0.6
+	r, err := rtdls.Simulate(w)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r.Arrivals == 0 || r.RejectRatio < 0 || r.RejectRatio > 1 {
 		t.Fatalf("bad result: %+v", r)
-	}
-}
-
-func TestFacadeRunSeries(t *testing.T) {
-	cfg := rtdls.Baseline()
-	cfg.Horizon = 1e5
-	rs, err := rtdls.RunSeries(cfg, []float64{0.2, 0.8})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(rs) != 2 {
-		t.Fatalf("%d results", len(rs))
-	}
-	if rs[0].Config.SystemLoad != 0.2 || rs[1].Config.SystemLoad != 0.8 {
-		t.Fatalf("loads not applied")
 	}
 }
 

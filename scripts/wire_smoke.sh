@@ -1,0 +1,54 @@
+#!/bin/sh
+# Wire smoke test: boot dlserve, push a closed-loop dlload burst through
+# it, SIGTERM the server, and assert that
+#   - dlload saw zero hard 5xx and p99 under the bound (dlload exits 1 otherwise),
+#   - every busy rejection carried a Retry-After hint,
+#   - the drain lost no committed task (accepts == commits, empty queue).
+# Run locally via `make wire-smoke`; CI runs this same script.
+set -eu
+
+GO=${GO:-go}
+ADDR=${ADDR:-127.0.0.1:8080}
+N=${N:-50000}
+WORKERS=${WORKERS:-64}
+MAX_P99_MS=${MAX_P99_MS:-2000}
+OUT=${OUT:-BENCH_wire.json}
+
+tmp=$(mktemp -d)
+trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+$GO build -o "$tmp/dlserve" ./cmd/dlserve
+$GO build -o "$tmp/dlload" ./cmd/dlload
+
+"$tmp/dlserve" -addr "$ADDR" -n 8 -shards 4 -placement spillover -max-queue 64 \
+	-scale 100000 -quiet -final-stats "$tmp/final_stats.json" &
+server_pid=$!
+
+# Wait for the server to come up.
+i=0
+until curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ "$i" -le 50 ] || { echo "wire-smoke: dlserve never became healthy" >&2; exit 1; }
+	sleep 0.2
+done
+
+"$tmp/dlload" -url "http://$ADDR" -mode closed -workers "$WORKERS" -n "$N" \
+	-sigma 200 -deadline 20000 -sigma-spread 2 \
+	-max-p99 "$MAX_P99_MS" -fail-on-5xx -require-retry-after -out "$OUT"
+
+# Graceful drain: SIGTERM, wait for exit, then check the final snapshot.
+kill -TERM "$server_pid"
+wait "$server_pid"
+
+field() { sed -n "s/^ *\"$1\": \([0-9-]*\),*$/\1/p" "$tmp/final_stats.json" | head -1; }
+accepts=$(field Accepts)
+commits=$(field Commits)
+queue=$(field QueueLen)
+fivexx=$(field http_5xx)
+
+echo "wire-smoke: accepts=$accepts commits=$commits queue=$queue http_5xx=$fivexx"
+[ -n "$accepts" ] && [ -n "$commits" ] || { echo "wire-smoke: missing final stats" >&2; exit 1; }
+[ "$accepts" -eq "$commits" ] || { echo "wire-smoke: drain lost committed tasks" >&2; exit 1; }
+[ "$queue" -eq 0 ] || { echo "wire-smoke: queue not empty after drain" >&2; exit 1; }
+[ "$fivexx" -eq 0 ] || { echo "wire-smoke: server counted hard 5xx responses" >&2; exit 1; }
+echo "wire-smoke: OK"

@@ -33,8 +33,10 @@ func NewManualClock(t float64) *ManualClock { return service.NewManualClock(t) }
 func NewWallClock(scale float64) *WallClock { return service.NewWallClock(scale) }
 
 // Decision is the outcome of one Submit: an admission carrying the plan's
-// resource assignment, or a typed rejection (Reason is errors.Is-matchable
-// against ErrInfeasible, ErrDeadlinePast, ErrClusterBusy).
+// resource assignment, or a typed rejection. Reason is the wire-stable
+// enum (ReasonInfeasible, ReasonDeadlinePast, ReasonBusy; ReasonNone when
+// accepted) and remains errors.Is-matchable against ErrInfeasible,
+// ErrDeadlinePast, ErrClusterBusy.
 type Decision = service.Decision
 
 // Event is one entry of the service's decision/lifecycle stream.
@@ -503,6 +505,26 @@ func (s *Service) SubmitBatch(ctx context.Context, tasks []Task) ([]Decision, er
 func (s *Service) Subscribe(buffer int) (<-chan Event, func()) {
 	return s.engine.Subscribe(buffer)
 }
+
+// Subscription is one consumer's handle on the event stream: its channel
+// plus the subscriber's own dropped-event counter, so a lossy consumer can
+// detect exactly how many events it missed (Stats().EventsDropped only
+// reports the bus-wide total).
+type Subscription = service.Subscription
+
+// SubscribeStream attaches a consumer and returns its Subscription handle.
+// The dlserve event streamer uses it to emit explicit gap notices to its
+// clients instead of silently skipping decisions.
+func (s *Service) SubscribeStream(buffer int) *Subscription {
+	return s.engine.SubscribeStream(buffer)
+}
+
+// SetAccepting flips the admission gate: while false, every submission
+// fails fast with ErrClusterBusy (a hard error, not a decision) while
+// commits and the event stream keep operating. It is the first step of a
+// graceful drain — SetAccepting(false), Drain, Close — and is reversible
+// until Close.
+func (s *Service) SetAccepting(accepting bool) { s.engine.SetAccepting(accepting) }
 
 // Stats returns a consistent snapshot of the admission counters, queue
 // depth and cluster utilization — aggregated over every shard for a

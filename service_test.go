@@ -179,17 +179,17 @@ func TestServiceConcurrentSubmitRace(t *testing.T) {
 	}
 }
 
-func TestSimulateMatchesRun(t *testing.T) {
-	cfg := rtdls.Baseline()
-	cfg.SystemLoad = 0.7
-	cfg.Horizon = 1e5
-	want, err := rtdls.Run(cfg)
+func TestSimulateDeterministic(t *testing.T) {
+	// The 1.x Run shim is gone; bit-for-bit equivalence of the service
+	// replay against the pre-redesign reference loop lives in
+	// internal/driver's equivalence tests. Here we pin the public surface:
+	// the same workload and seed reproduce the identical Result.
+	w := rtdls.Workload{SystemLoad: 0.7, AvgSigma: 200, DCRatio: 2, Horizon: 1e5, Seed: 1}
+	want, err := rtdls.Simulate(w)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := rtdls.Simulate(rtdls.Workload{
-		SystemLoad: 0.7, AvgSigma: 200, DCRatio: 2, Horizon: 1e5, Seed: 1,
-	})
+	got, err := rtdls.Simulate(w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +197,10 @@ func TestSimulateMatchesRun(t *testing.T) {
 		want.Arrivals != got.Arrivals ||
 		math.Float64bits(want.MeanResponse) != math.Float64bits(got.MeanResponse) ||
 		math.Float64bits(want.Utilization) != math.Float64bits(got.Utilization) {
-		t.Fatalf("Simulate diverges from Run:\n run: %+v\n sim: %+v", want, got)
+		t.Fatalf("Simulate not deterministic:\n 1st: %+v\n 2nd: %+v", want, got)
+	}
+	if want.Arrivals == 0 {
+		t.Fatalf("workload produced no arrivals: %+v", want)
 	}
 }
 
