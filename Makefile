@@ -49,9 +49,11 @@ fuzz-smoke:
 	done
 
 # Boot the wire server: 4 shards × 8 nodes, bounded queues, 100k sim
-# units per wall second. Ctrl-C (or SIGTERM) drains gracefully.
+# units per wall second, pprof on a loopback side port and structured
+# request logs. Ctrl-C (or SIGTERM) drains gracefully.
 serve:
-	$(GO) run ./cmd/dlserve -addr :8080 -n 8 -shards 4 -placement spillover -max-queue 64 -scale 100000
+	$(GO) run ./cmd/dlserve -addr :8080 -n 8 -shards 4 -placement spillover -max-queue 64 -scale 100000 \
+		-pprof-addr 127.0.0.1:6060 -log-level info -log-format text
 
 # Closed-loop burst against a running `make serve`, gated like CI.
 loadtest:
@@ -60,7 +62,9 @@ loadtest:
 
 # The CI wire-smoke job, runnable locally: boot dlserve, push 50k
 # submissions through it, SIGTERM, and assert the drain lost nothing
-# (accepts == commits, empty queue) with zero hard 5xx.
+# (accepts == commits, empty queue) with zero hard 5xx, plus the
+# /metrics invariants (submits == accepts + rejects live; accepts ==
+# commits and zero dropped events after drain).
 wire-smoke:
 	./scripts/wire_smoke.sh
 

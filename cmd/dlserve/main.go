@@ -11,10 +11,16 @@
 //
 //	dlserve -addr :8080 -n 8 -shards 4 -placement spillover -max-queue 64
 //
+// Observability: GET /metrics serves the Prometheus text exposition
+// (per-stage admission latency, per-shard outcomes, HTTP metrics);
+// -pprof-addr serves net/http/pprof on a separate listener; -log-level
+// and -log-format select structured (slog) request logging.
+//
 // SIGTERM or SIGINT triggers a graceful drain: new submissions are
 // refused with 503 + Retry-After, every committed plan is flushed, event
 // streams receive a final "end" event, and the final stats snapshot is
-// printed (and, with -final-stats, written as JSON) before exit.
+// printed (and, with -final-stats / -final-metrics, written out) before
+// exit.
 package main
 
 import (
@@ -22,11 +28,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers the pprof handlers on DefaultServeMux
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -51,25 +59,65 @@ func main() {
 		maxRetry  = flag.Float64("max-retry-after", 60, "cap on the advertised Retry-After (seconds)")
 		drainWait = flag.Duration("drain-timeout", 30*time.Second, "bound on the shutdown drain")
 		stats     = flag.String("final-stats", "", "write the final /v1/stats snapshot to this file on shutdown")
+		metricsF  = flag.String("final-metrics", "", "write the final /metrics exposition to this file on shutdown")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = off)")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		logFormat = flag.String("log-format", "text", "log format: text or json")
 		quiet     = flag.Bool("quiet", false, "suppress per-request logging")
 	)
 	flag.Parse()
 
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dlserve:", err)
+		os.Exit(1)
+	}
+
 	if err := run(*addr, *n, *cms, *cps, *policy, *alg, *rounds, *maxQueue,
-		*shards, *placement, *seed, *scale, *maxRetry, *drainWait, *stats, *quiet); err != nil {
+		*shards, *placement, *seed, *scale, *maxRetry, *drainWait,
+		*stats, *metricsF, *pprofAddr, logger, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "dlserve:", err)
 		os.Exit(1)
 	}
 }
 
+// buildLogger assembles the slog logger the -log-level/-log-format flags
+// describe.
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+}
+
 func run(addr string, n int, cms, cps float64, policyName, alg string, rounds, maxQueue,
 	shards int, placementName string, seed uint64, scale, maxRetry float64,
-	drainWait time.Duration, statsPath string, quiet bool) error {
+	drainWait time.Duration, statsPath, metricsPath, pprofAddr string,
+	logger *slog.Logger, quiet bool) error {
 
 	pol, err := rtdls.ParsePolicy(policyName)
 	if err != nil {
 		return err
 	}
+	reg := rtdls.NewMetricsRegistry()
 	opts := []rtdls.Option{
 		rtdls.WithNodes(n),
 		rtdls.WithParams(rtdls.Params{Cms: cms, Cps: cps}),
@@ -78,6 +126,7 @@ func run(addr string, n int, cms, cps float64, policyName, alg string, rounds, m
 		rtdls.WithRounds(rounds),
 		rtdls.WithMaxQueue(maxQueue),
 		rtdls.WithClock(rtdls.NewWallClock(scale)),
+		rtdls.WithMetrics(reg),
 	}
 	if shards > 0 {
 		pl, err := rtdls.ParsePlacement(placementName, seed)
@@ -91,19 +140,36 @@ func run(addr string, n int, cms, cps float64, policyName, alg string, rounds, m
 		return err
 	}
 
-	logf := log.Printf
+	reqLogger := logger
 	if quiet {
-		logf = nil
+		reqLogger = nil
 	}
 	srv, err := server.New(server.Config{
 		Engine:        eng,
 		Scale:         scale,
 		MaxRetryAfter: maxRetry,
 		Version:       rtdls.Version,
-		Logf:          logf,
+		Logger:        reqLogger,
+		Metrics:       reg,
 	})
 	if err != nil {
 		return err
+	}
+
+	if pprofAddr != "" {
+		pln, err := net.Listen("tcp", pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		go func() {
+			// The pprof import registered its handlers on DefaultServeMux;
+			// serving it on a separate listener keeps profiling off the
+			// public port.
+			if err := http.Serve(pln, nil); err != nil {
+				logger.Warn("pprof server stopped", slog.Any("err", err))
+			}
+		}()
+		logger.Info("pprof listening", slog.String("addr", pln.Addr().String()))
 	}
 
 	ln, err := net.Listen("tcp", addr)
@@ -113,7 +179,8 @@ func run(addr string, n int, cms, cps float64, policyName, alg string, rounds, m
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
-	log.Printf("dlserve: listening on %s (nodes=%d shards=%d scale=%g)", ln.Addr(), n, shards, scale)
+	logger.Info("listening", slog.String("addr", ln.Addr().String()),
+		slog.Int("nodes", n), slog.Int("shards", shards), slog.Float64("scale", scale))
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
@@ -121,22 +188,24 @@ func run(addr string, n int, cms, cps float64, policyName, alg string, rounds, m
 	case err := <-errc:
 		return err
 	case s := <-sig:
-		log.Printf("dlserve: %v, draining", s)
+		logger.Info("draining", slog.String("signal", s.String()))
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), drainWait)
 	defer cancel()
 	if err := srv.Drain(ctx); err != nil {
-		log.Printf("dlserve: drain: %v", err)
+		logger.Error("drain", slog.Any("err", err))
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		log.Printf("dlserve: shutdown: %v", err)
+		logger.Error("shutdown", slog.Any("err", err))
 	}
 
 	final := eng.Stats()
 	total, fivexx := srv.Requests()
-	log.Printf("dlserve: final stats: arrivals=%d accepts=%d rejects=%d commits=%d queue=%d http=%d 5xx=%d",
-		final.Arrivals, final.Accepts, final.Rejects, final.Commits, final.QueueLen, total, fivexx)
+	logger.Info("final stats",
+		slog.Int("arrivals", final.Arrivals), slog.Int("accepts", final.Accepts),
+		slog.Int("rejects", final.Rejects), slog.Int("commits", final.Commits),
+		slog.Int("queue", final.QueueLen), slog.Int64("http", total), slog.Int64("http_5xx", fivexx))
 	if statsPath != "" {
 		snapshot := struct {
 			rtdls.ServiceStats
@@ -148,6 +217,19 @@ func run(addr string, n int, cms, cps float64, policyName, alg string, rounds, m
 			return err
 		}
 		if err := os.WriteFile(statsPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if _, err := reg.WriteTo(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
 			return err
 		}
 	}

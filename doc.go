@@ -88,6 +88,19 @@
 // measured against intended arrival instants to avoid coordinated
 // omission) — and emits an HDR-style latency/outcome report.
 //
+// The stack is observable end to end without external dependencies:
+// NewMetricsRegistry plus WithMetrics install an atomic instrumentation
+// layer (internal/metrics) that the server renders as Prometheus text
+// exposition on GET /metrics — per-stage admission latency histograms
+// (candidate scan, planning, schedulability check, commit), per-shard
+// accept/reject/commit counters, queue-depth and utilization gauges, and
+// HTTP request metrics. Instruments update via atomic stores at
+// state-change time and a scrape only reads atomics, so monitoring never
+// contends with the scheduler lock. dlserve adds net/http/pprof behind
+// -pprof-addr and structured log/slog request logging with request-id
+// propagation; dlload scrapes /metrics around each run and embeds the
+// server-side stage/shard deltas in its report.
+//
 // Build and test with the standard toolchain — go build ./... and
 // go test ./... — or via the Makefile (make ci mirrors the CI pipeline:
 // build, gofmt gate, vet, race tests, benchmark compile check and a fuzz

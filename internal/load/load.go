@@ -126,6 +126,12 @@ type Report struct {
 
 	// ServerStats is the server's /v1/stats snapshot taken after the run.
 	ServerStats json.RawMessage `json:"server_stats,omitempty"`
+
+	// ServerMetrics is the before→after delta of the server's /metrics
+	// exposition over the run: per-stage admission latency quantiles,
+	// per-shard outcome counters, the queue-depth high-water mark and the
+	// event-drop count. Omitted when the server has no /metrics endpoint.
+	ServerMetrics *ServerMetrics `json:"server_metrics,omitempty"`
 }
 
 // AcceptRatio returns accepted / requests (0 with no requests).
@@ -237,6 +243,10 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		}
 		return taskBody{ID: seq.Add(1), Sigma: sigma, Deadline: opts.Deadline}
 	}
+
+	// Scrape /metrics before the run so the report can carry server-side
+	// deltas; a server without the endpoint just skips this section.
+	preScrape, preErr := ScrapeMetrics(ctx, client, opts.URL)
 
 	start := time.Now()
 	switch opts.Mode {
@@ -351,6 +361,11 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	}
 	if stats, err := fetchStats(ctx, client, opts.URL); err == nil {
 		rep.ServerStats = stats
+	}
+	if preErr == nil {
+		if postScrape, err := ScrapeMetrics(ctx, client, opts.URL); err == nil {
+			rep.ServerMetrics = MetricsDelta(preScrape, postScrape)
+		}
 	}
 	return rep, nil
 }

@@ -58,6 +58,12 @@ type Config struct {
 
 	// Clock is shared by every shard; nil defaults to a ManualClock at 0.
 	Clock service.Clock
+
+	// Metrics optionally instruments the pool: every shard records its
+	// outcome counters, load gauges and per-stage admission histograms on
+	// the shared instance, plus pool-level spillover and event-drop
+	// counters. Nil disables instrumentation.
+	Metrics *service.Metrics
 }
 
 // Pool is the sharded, concurrency-safe admission-control engine. It
@@ -121,6 +127,7 @@ func New(cfg Config) (*Pool, error) {
 			MaxQueue:    sc.MaxQueue,
 			Shard:       i,
 			Bus:         p.bus,
+			Metrics:     cfg.Metrics,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("pool: shard %d: %w", i, err)
@@ -132,6 +139,11 @@ func New(cfg Config) (*Pool, error) {
 	p.needLoads = true
 	if la, ok := place.(LoadAware); ok {
 		p.needLoads = la.NeedsLoads()
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.Registry().CounterFunc("rtdls_spillovers_total",
+			"Accepted tasks that needed at least one spillover retry.", nil,
+			func() float64 { return float64(p.spillovers.Load()) })
 	}
 	k := len(cfg.Shards)
 	p.scratch.New = func() any {
@@ -270,6 +282,11 @@ func (p *Pool) SubscribeStream(buffer int) *service.Subscription {
 // commits and the event stream keep operating — the first step of a
 // graceful drain. Reversible until Close.
 func (p *Pool) SetAccepting(accepting bool) { p.draining.Store(!accepting) }
+
+// Accepting reports whether the pool-wide admission gate is open:
+// true until SetAccepting(false) or Close. Lock-free — the health
+// endpoint's readiness signal.
+func (p *Pool) Accepting() bool { return !p.draining.Load() && !p.closed.Load() }
 
 // Event re-exports the service event type for pool subscribers.
 type Event = service.Event

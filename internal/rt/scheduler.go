@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"rtdls/internal/cluster"
 	"rtdls/internal/errs"
@@ -49,13 +51,19 @@ type Scheduler struct {
 	availBuf []float64
 	pctx     PlanContext
 
-	arrivals int
-	accepts  int
-	rejects  int
-	commits  int
-	maxQueue int
+	// Admission counters live on atomics so Stats() — and every observer
+	// built on it, including the /metrics scrape — never takes the
+	// scheduler lock. Writes still happen inside locked sections, so the
+	// counters remain mutually consistent at quiescence.
+	arrivals atomic.Int64
+	accepts  atomic.Int64
+	rejects  atomic.Int64
+	commits  atomic.Int64
+	queueLen atomic.Int64
+	maxQueue atomic.Int64
 
-	obs Observer
+	obs      Observer
+	stageObs StageObserver
 }
 
 // NewScheduler builds a scheduler for the given cluster, policy and
@@ -77,11 +85,24 @@ func NewScheduler(cl *cluster.Cluster, pol Policy, part Partitioner) *Scheduler 
 }
 
 // SetObserver installs lifecycle callbacks (nil disables them). Callbacks
-// run with the scheduler lock held and must not call back into it.
+// run with the scheduler lock held and must not call back into it. If obs
+// also implements StageObserver, per-stage timing spans are enabled too.
 func (s *Scheduler) SetObserver(obs Observer) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.obs = obs
+	if so, ok := obs.(StageObserver); ok && s.stageObs == nil {
+		s.stageObs = so
+	}
+}
+
+// SetStageObserver installs per-stage timing callbacks (nil disables
+// them). The observer runs with the scheduler lock held, once per
+// admission test, and must be cheap and concurrency-safe.
+func (s *Scheduler) SetStageObserver(so StageObserver) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stageObs = so
 }
 
 // Cluster returns the cluster the scheduler manages.
@@ -111,7 +132,16 @@ func (s *Scheduler) Submit(t *Task, now float64) (accepted bool, err error) {
 	if _, dup := s.plans[t.ID]; dup {
 		return false, fmt.Errorf("rt: task %d is already waiting: %w", t.ID, errs.ErrBadConfig)
 	}
-	s.arrivals++
+	s.arrivals.Add(1)
+
+	// Per-stage timing spans are measured only when an observer is
+	// installed; the nil path costs a single predictable branch.
+	stageObs := s.stageObs
+	var t0 time.Time
+	var candDur, planDur time.Duration
+	if stageObs != nil {
+		t0 = time.Now()
+	}
 
 	// TempTaskList ← NewTask + TaskWaitingQueue, ordered by the policy. The
 	// candidate list is a scratch buffer double-buffered against waiting.
@@ -137,13 +167,36 @@ func (s *Scheduler) Submit(t *Task, now float64) (accepted bool, err error) {
 	}
 	view := s.view
 	s.pctx = PlanContext{P: s.cl.Params(), N: s.cl.N(), Now: now, View: view, Costs: s.cl.Costs()}
+	if stageObs != nil {
+		// Candidate selection ends once the availability view is set up;
+		// everything after splits into planning (the partitioner calls) and
+		// the schedulability check (deadline comparisons + view updates).
+		candDur = time.Since(t0)
+		defer func() {
+			stageObs.ObserveStage(StageCandidate, candDur.Seconds())
+			stageObs.ObserveStage(StagePlan, planDur.Seconds())
+			check := time.Since(t0) - candDur - planDur
+			if check < 0 {
+				check = 0
+			}
+			stageObs.ObserveStage(StageCheck, check.Seconds())
+		}()
+	}
 	newPlans := s.spare
 	discard := func() {
 		clear(newPlans)
 		clear(cand)
 	}
 	for _, ti := range cand {
-		pl, perr := s.part.Plan(&s.pctx, ti)
+		var pl *Plan
+		var perr error
+		if stageObs != nil {
+			tp := time.Now()
+			pl, perr = s.part.Plan(&s.pctx, ti)
+			planDur += time.Since(tp)
+		} else {
+			pl, perr = s.part.Plan(&s.pctx, ti)
+		}
 		if perr != nil {
 			if errors.Is(perr, ErrInfeasible) {
 				s.reject(now, t)
@@ -173,18 +226,28 @@ func (s *Scheduler) Submit(t *Task, now float64) (accepted bool, err error) {
 	s.plans = newPlans
 	clear(oldPlans)
 	s.spare = oldPlans
-	s.accepts++
-	if len(s.waiting) > s.maxQueue {
-		s.maxQueue = len(s.waiting)
-	}
+	s.accepts.Add(1)
+	q := int64(len(s.waiting))
+	s.queueLen.Store(q)
+	storeMax(&s.maxQueue, q)
 	if s.obs != nil {
 		s.obs.OnAccept(now, t, newPlans[t.ID])
 	}
 	return true, nil
 }
 
+// storeMax raises the atomic to v if v exceeds the current value.
+func storeMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if cur >= v || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 func (s *Scheduler) reject(now float64, t *Task) {
-	s.rejects++
+	s.rejects.Add(1)
 	if s.obs != nil {
 		s.obs.OnReject(now, t)
 	}
@@ -215,6 +278,11 @@ const commitEps = 1e-9
 func (s *Scheduler) CommitDue(now float64) ([]*Plan, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	stageObs := s.stageObs
+	var t0 time.Time
+	if stageObs != nil {
+		t0 = time.Now()
+	}
 	var out []*Plan
 	rest := s.waiting[:0]
 	tol := commitEps * math.Max(1, math.Abs(now))
@@ -228,7 +296,7 @@ func (s *Scheduler) CommitDue(now float64) ([]*Plan, error) {
 				return out, fmt.Errorf("rt: committing task %d: %w", w.ID, err)
 			}
 			delete(s.plans, w.ID)
-			s.commits++
+			s.commits.Add(1)
 			if s.obs != nil {
 				s.obs.OnCommit(now, pl)
 			}
@@ -241,6 +309,10 @@ func (s *Scheduler) CommitDue(now float64) ([]*Plan, error) {
 	tail := s.waiting[len(rest):]
 	clear(tail)
 	s.waiting = rest
+	s.queueLen.Store(int64(len(rest)))
+	if stageObs != nil && len(out) > 0 {
+		stageObs.ObserveStage(StageCommit, time.Since(t0).Seconds())
+	}
 	return out, nil
 }
 
@@ -270,17 +342,18 @@ func (st Stats) RejectRatio() float64 {
 	return float64(st.Rejects) / float64(st.Arrivals)
 }
 
-// Stats returns a consistent snapshot of all admission counters, taken
-// under the scheduler lock.
+// Stats returns a snapshot of all admission counters. It is lock-free —
+// each counter is read atomically, so a snapshot taken while submissions
+// are in flight may be mid-update by one task (e.g. Arrivals incremented
+// before the matching Accepts), but never blocks or delays admission. At
+// quiescence the snapshot is exact.
 func (s *Scheduler) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return Stats{
-		Arrivals:    s.arrivals,
-		Accepts:     s.accepts,
-		Rejects:     s.rejects,
-		Commits:     s.commits,
-		QueueLen:    len(s.waiting),
-		MaxQueueLen: s.maxQueue,
+		Arrivals:    int(s.arrivals.Load()),
+		Accepts:     int(s.accepts.Load()),
+		Rejects:     int(s.rejects.Load()),
+		Commits:     int(s.commits.Load()),
+		QueueLen:    int(s.queueLen.Load()),
+		MaxQueueLen: int(s.maxQueue.Load()),
 	}
 }

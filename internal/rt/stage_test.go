@@ -1,0 +1,112 @@
+package rt
+
+import (
+	"sync"
+	"testing"
+)
+
+// stageRecorder collects ObserveStage spans; guarded because the contract
+// requires observers to be concurrency-safe.
+type stageRecorder struct {
+	mu    sync.Mutex
+	spans map[Stage][]float64
+}
+
+func (r *stageRecorder) ObserveStage(stage Stage, seconds float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.spans == nil {
+		r.spans = make(map[Stage][]float64)
+	}
+	r.spans[stage] = append(r.spans[stage], seconds)
+}
+
+func (r *stageRecorder) count(stage Stage) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans[stage])
+}
+
+func TestStageObserverSpans(t *testing.T) {
+	s := newSched(t, 16, EDF, IITDLT{})
+	rec := &stageRecorder{}
+	s.SetStageObserver(rec)
+
+	// One accept, one reject: both run the full candidate/plan/check
+	// pipeline.
+	if ok, err := s.Submit(&Task{ID: 1, Arrival: 0, Sigma: 200, RelDeadline: 2718}, 0); err != nil || !ok {
+		t.Fatalf("Submit = %v, %v", ok, err)
+	}
+	if ok, _ := s.Submit(&Task{ID: 2, Arrival: 0, Sigma: 200, RelDeadline: 201}, 0); ok {
+		t.Fatal("should reject")
+	}
+	for _, st := range []Stage{StageCandidate, StagePlan, StageCheck} {
+		if got := rec.count(st); got != 2 {
+			t.Fatalf("stage %v observed %d times, want 2", st, got)
+		}
+	}
+	if got := rec.count(StageCommit); got != 0 {
+		t.Fatalf("commit observed %d times before CommitDue", got)
+	}
+
+	if _, err := s.CommitDue(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.count(StageCommit); got != 1 {
+		t.Fatalf("commit observed %d times, want 1", got)
+	}
+	// An empty commit sweep must not record a span.
+	if _, err := s.CommitDue(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.count(StageCommit); got != 1 {
+		t.Fatalf("empty CommitDue recorded a span (count %d)", got)
+	}
+
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	for st, spans := range rec.spans {
+		for _, sec := range spans {
+			if sec < 0 {
+				t.Fatalf("stage %v recorded negative span %g", st, sec)
+			}
+		}
+	}
+}
+
+func TestStageObserverViaSetObserver(t *testing.T) {
+	// A decision observer that also implements StageObserver is picked up
+	// by plain SetObserver — the service layer installs its Metrics this
+	// way.
+	s := newSched(t, 4, EDF, IITDLT{})
+	type both struct {
+		countingObs
+		stageRecorder
+	}
+	obs := &both{}
+	s.SetObserver(obs)
+	if ok, err := s.Submit(&Task{ID: 1, Arrival: 0, Sigma: 100, RelDeadline: 5000}, 0); err != nil || !ok {
+		t.Fatalf("Submit = %v, %v", ok, err)
+	}
+	if obs.accepts != 1 {
+		t.Fatalf("decision observer missed the accept")
+	}
+	if got := obs.count(StagePlan); got != 1 {
+		t.Fatalf("stage observer missed plan span (count %d)", got)
+	}
+}
+
+func TestStageStrings(t *testing.T) {
+	want := map[Stage]string{
+		StageCandidate: "candidate",
+		StagePlan:      "plan",
+		StageCheck:     "check",
+		StageCommit:    "commit",
+		Stage(99):      "unknown",
+	}
+	for st, s := range want {
+		if st.String() != s {
+			t.Fatalf("Stage(%d).String() = %q, want %q", st, st.String(), s)
+		}
+	}
+}

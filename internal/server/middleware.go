@@ -2,10 +2,15 @@ package server
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"strconv"
 	"time"
+
+	"rtdls/internal/metrics"
 )
 
 // statusRecorder captures the response status for accounting and logging.
@@ -40,13 +45,44 @@ func (r *statusRecorder) Flush() {
 // taking the scheduler lock and returns 499.
 const TimeoutHeader = "X-Request-Timeout"
 
+// RequestIDHeader carries the request correlation id. A client-supplied id
+// is echoed back verbatim; otherwise the server generates one. Every
+// structured request log record carries it.
+const RequestIDHeader = "X-Request-ID"
+
+// newRequestID returns a 16-hex-char random correlation id.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// routeLabel normalizes a request path onto the server's fixed route set so
+// HTTP metrics stay bounded-cardinality no matter what clients request.
+func routeLabel(path string) string {
+	switch path {
+	case "/v1/submit", "/v1/submit/batch", "/v1/stats", "/v1/events", "/healthz", "/metrics":
+		return path
+	}
+	return "other"
+}
+
 // middleware wraps the mux with panic recovery, request/5xx accounting,
-// optional logging, and per-request deadline propagation.
+// request-id propagation, optional logging (structured or printf), HTTP
+// metrics, and per-request deadline propagation.
 func (s *Server) middleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w}
 		s.requests.Add(1)
+
+		reqID := r.Header.Get(RequestIDHeader)
+		if reqID == "" {
+			reqID = newRequestID()
+		}
+		rec.Header().Set(RequestIDHeader, reqID)
 
 		if v := r.Header.Get(TimeoutHeader); v != "" {
 			if secs, err := strconv.ParseFloat(v, 64); err == nil && secs > 0 {
@@ -61,15 +97,35 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 				if rec.status == 0 {
 					http.Error(rec, "internal server error", http.StatusInternalServerError)
 				}
-				if s.logf != nil {
+				if s.logger != nil {
+					s.logger.Error("panic",
+						slog.String("method", r.Method), slog.String("path", r.URL.Path),
+						slog.String("request_id", reqID), slog.Any("panic", p),
+						slog.String("stack", string(debug.Stack())))
+				} else if s.logf != nil {
 					s.logf("panic: %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
 				}
 			}
 			if rec.status >= 500 {
 				s.fivexx.Add(1)
 			}
-			if s.logf != nil {
-				s.logf("%s %s -> %d (%s)", r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+			elapsed := time.Since(start)
+			if s.reg != nil {
+				route := routeLabel(r.URL.Path)
+				s.reg.Counter("rtdls_http_requests_total",
+					"HTTP requests by route and status code.",
+					metrics.Labels{"route": route, "status": strconv.Itoa(rec.status)}).Inc()
+				s.reg.Histogram("rtdls_http_request_seconds",
+					"HTTP request duration in seconds by route.",
+					metrics.Labels{"route": route}).Observe(elapsed.Seconds())
+			}
+			if s.logger != nil {
+				s.logger.Info("request",
+					slog.String("method", r.Method), slog.String("path", r.URL.Path),
+					slog.Int("status", rec.status), slog.Duration("duration", elapsed),
+					slog.String("request_id", reqID))
+			} else if s.logf != nil {
+				s.logf("%s %s -> %d (%s)", r.Method, r.URL.Path, rec.status, elapsed.Round(time.Microsecond))
 			}
 		}()
 		next.ServeHTTP(rec, r)

@@ -11,7 +11,11 @@
 //	GET  /v1/events        Server-Sent Events stream of accept/reject/
 //	                       commit events (plus explicit "gap" notices when
 //	                       the subscriber lost events)
-//	GET  /healthz          liveness + drain state
+//	GET  /healthz          liveness + readiness: 200 while accepting, 503
+//	                       with {"draining": true} once the admission gate
+//	                       closes (SetAccepting(false) or Drain)
+//	GET  /metrics          Prometheus text exposition (when a metrics
+//	                       registry is configured)
 //
 // Response status codes are exactly the stable wire codes of
 // internal/errs: an accepted submission is 200; a clean rejection carries
@@ -33,13 +37,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
+	"sort"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"rtdls/internal/errs"
+	"rtdls/internal/metrics"
 	"rtdls/internal/rt"
 	"rtdls/internal/service"
 )
@@ -54,6 +62,7 @@ type Engine interface {
 	Stats() service.Stats
 	NextCommit() (at float64, ok bool)
 	SetAccepting(accepting bool)
+	Accepting() bool
 	Drain() error
 	Close() error
 	Clock() service.Clock
@@ -83,8 +92,20 @@ type Config struct {
 	Version string
 
 	// Logf, when non-nil, receives one line per request and per lifecycle
-	// transition (drain, panic recovery).
+	// transition (drain, panic recovery). Superseded by Logger; kept for
+	// callers that only want printf-style lines.
 	Logf func(format string, args ...any)
+
+	// Logger, when non-nil, receives structured request and lifecycle
+	// records (method, route, status, duration, request_id) and takes
+	// precedence over Logf.
+	Logger *slog.Logger
+
+	// Metrics, when non-nil, is served at GET /metrics and additionally
+	// records the server's own HTTP metrics (rtdls_http_requests_total,
+	// rtdls_http_request_seconds) and the rtdls_info gauge. Pass the same
+	// registry the engine was instrumented with to get one exposition.
+	Metrics *metrics.Registry
 }
 
 // Server is the HTTP front end. Construct with New, mount Handler on an
@@ -97,11 +118,19 @@ type Server struct {
 	maxRetryAfter float64
 	version       string
 	logf          func(string, ...any)
+	logger        *slog.Logger
+	reg           *metrics.Registry
 	start         time.Time
 
 	draining atomic.Bool
 	requests atomic.Int64
 	fivexx   atomic.Int64
+
+	// Active SSE subscriptions, keyed by a server-assigned id, so
+	// /v1/stats can surface each subscriber's own drop count.
+	subMu  sync.Mutex
+	subSeq int64
+	subs   map[int64]*service.Subscription
 }
 
 // New validates the configuration and returns a ready server.
@@ -121,7 +150,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxRetryAfter <= 0 {
 		cfg.MaxRetryAfter = 60
 	}
-	return &Server{
+	s := &Server{
 		eng:           cfg.Engine,
 		scale:         cfg.Scale,
 		maxBody:       cfg.MaxBody,
@@ -129,8 +158,17 @@ func New(cfg Config) (*Server, error) {
 		maxRetryAfter: cfg.MaxRetryAfter,
 		version:       cfg.Version,
 		logf:          cfg.Logf,
+		logger:        cfg.Logger,
+		reg:           cfg.Metrics,
 		start:         time.Now(),
-	}, nil
+		subs:          make(map[int64]*service.Subscription),
+	}
+	if s.reg != nil {
+		s.reg.Gauge("rtdls_info",
+			"Constant 1, labeled with the server build version.",
+			metrics.Labels{"version": s.version}).Set(1)
+	}
+	return s, nil
 }
 
 // Handler returns the server's routed handler with the standard middleware
@@ -143,6 +181,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/events", s.handleEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.reg != nil {
+		mux.Handle("GET /metrics", s.reg)
+	}
 	return s.middleware(mux)
 }
 
@@ -165,9 +206,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	if s.draining.Swap(true) {
 		return nil
 	}
-	if s.logf != nil {
-		s.logf("drain: admission gate closed, pumping committed work")
-	}
+	s.sayf("drain: admission gate closed, pumping committed work")
 	s.eng.SetAccepting(false)
 	done := make(chan error, 1)
 	go func() { done <- s.eng.Drain() }()
@@ -180,12 +219,21 @@ func (s *Server) Drain(ctx context.Context) error {
 	if cerr := s.eng.Close(); err == nil {
 		err = cerr
 	}
-	if s.logf != nil {
-		st := s.eng.Stats()
-		s.logf("drain: done (accepts=%d commits=%d queue=%d err=%v)",
-			st.Accepts, st.Commits, st.QueueLen, err)
-	}
+	st := s.eng.Stats()
+	s.sayf("drain: done (accepts=%d commits=%d queue=%d err=%v)",
+		st.Accepts, st.Commits, st.QueueLen, err)
 	return err
+}
+
+// sayf emits one lifecycle line: through the structured logger when
+// configured, else the legacy printf sink.
+func (s *Server) sayf(format string, args ...any) {
+	switch {
+	case s.logger != nil:
+		s.logger.Info(fmt.Sprintf(format, args...))
+	case s.logf != nil:
+		s.logf(format, args...)
+	}
 }
 
 // retryAfterSeconds derives the Retry-After hint from the engine's current
@@ -295,15 +343,50 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if at, ok := s.eng.NextCommit(); ok {
 		resp.NextCommit = &at
 	}
+	resp.Subscribers = s.subscriberStats()
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+// handleHealthz is the liveness + readiness probe. Readiness follows the
+// engine's lock-free admission gate, not just the server's own drain flag:
+// an engine whose gate was closed directly (SetAccepting(false)) reports
+// draining too, so load balancers stop routing before the first 503'd
+// submission.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	if s.draining.Load() || !s.eng.Accepting() {
+		s.writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "draining", Draining: true})
 		return
 	}
-	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+}
+
+// trackSub registers an active SSE subscription for /v1/stats visibility
+// and returns its server-assigned id.
+func (s *Server) trackSub(sub *service.Subscription) int64 {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	s.subSeq++
+	s.subs[s.subSeq] = sub
+	return s.subSeq
+}
+
+func (s *Server) untrackSub(id int64) {
+	s.subMu.Lock()
+	delete(s.subs, id)
+	s.subMu.Unlock()
+}
+
+// subscriberStats snapshots every active subscriber's drop count, ordered
+// by subscription id.
+func (s *Server) subscriberStats() []SubscriberStats {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	out := make([]SubscriberStats, 0, len(s.subs))
+	for id, sub := range s.subs {
+		out = append(out, SubscriberStats{ID: id, Dropped: sub.Dropped()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // writeUnavailable answers a submission received while draining: 503 with

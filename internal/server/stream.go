@@ -37,6 +37,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 	sub := s.eng.SubscribeStream(buffer)
 	defer sub.Cancel()
+	subID := s.trackSub(sub)
+	defer s.untrackSub(subID)
 
 	h := w.Header()
 	h.Set("Content-Type", "text/event-stream")

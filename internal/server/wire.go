@@ -111,6 +111,23 @@ type StatsResponse struct {
 	Draining      bool     `json:"draining"`
 	HTTPRequests  int64    `json:"http_requests"`
 	HTTP5xx       int64    `json:"http_5xx"`
+
+	// Subscribers lists every active event-stream subscriber with its own
+	// dropped-event count (Stats.EventsDropped is the bus-wide total).
+	Subscribers []SubscriberStats `json:"subscribers,omitempty"`
+}
+
+// SubscriberStats is one active SSE subscriber's view in /v1/stats.
+type SubscriberStats struct {
+	ID      int64  `json:"id"`
+	Dropped uint64 `json:"dropped"`
+}
+
+// HealthResponse is the wire form of /healthz: Status is "ok" (200) while
+// the admission gate is open, "draining" (503) once it closes.
+type HealthResponse struct {
+	Status   string `json:"status"`
+	Draining bool   `json:"draining,omitempty"`
 }
 
 // EventResponse is the wire form of one stream event. Gap events (kind

@@ -25,6 +25,9 @@ type Engine interface {
 	// fast with ErrClusterBusy while commits and the event stream keep
 	// running — the first step of a graceful drain.
 	SetAccepting(accepting bool)
+	// Accepting reports whether the admission gate is open (lock-free; the
+	// health endpoint's readiness signal).
+	Accepting() bool
 	// Stats returns a snapshot of admission counters and cluster accounting,
 	// aggregated over every shard.
 	Stats() Stats

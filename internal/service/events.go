@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"rtdls/internal/errs"
 	"rtdls/internal/rt"
@@ -60,7 +61,7 @@ type Event struct {
 // subscriber is one event-stream consumer with a private buffered channel.
 type subscriber struct {
 	ch      chan Event
-	dropped uint64
+	dropped atomic.Uint64
 }
 
 // Bus fans lifecycle events out to any number of subscribers. Publishing
@@ -68,10 +69,15 @@ type subscriber struct {
 // (counted per subscriber) rather than stalling admission control. A Bus
 // can be private to one Service (the default) or shared by every shard of
 // a pool, giving consumers one merged, shard-tagged stream.
+//
+// The subscriber count and drop totals live on atomics so the submit fast
+// path (HasSubscribers) and the /metrics scrape (DroppedTotal) never touch
+// the bus mutex, which Publish holds while the admission lock is held.
 type Bus struct {
 	mu     sync.Mutex
 	subs   map[*subscriber]struct{}
-	lost   uint64 // drops accumulated from detached subscribers
+	nsubs  atomic.Int64
+	drops  atomic.Uint64 // lifetime drop total, surviving subscriber detach
 	closed bool
 }
 
@@ -118,6 +124,7 @@ func (b *Bus) SubscribeStream(buffer int) *Subscription {
 		return sub
 	}
 	b.subs[s] = struct{}{}
+	b.nsubs.Store(int64(len(b.subs)))
 	b.mu.Unlock()
 	return sub
 }
@@ -129,11 +136,7 @@ func (sub *Subscription) C() <-chan Event { return sub.s.ch }
 // Dropped returns how many events this subscriber has lost so far because
 // its buffer was full. The count is monotone and remains readable after
 // the subscription ends.
-func (sub *Subscription) Dropped() uint64 {
-	sub.b.mu.Lock()
-	defer sub.b.mu.Unlock()
-	return sub.s.dropped
-}
+func (sub *Subscription) Dropped() uint64 { return sub.s.dropped.Load() }
 
 // Cancel detaches the subscriber and closes its channel. Idempotent, and a
 // no-op after the bus itself has closed the subscription.
@@ -142,9 +145,7 @@ func (sub *Subscription) Cancel() {
 		sub.b.mu.Lock()
 		_, live := sub.b.subs[sub.s]
 		delete(sub.b.subs, sub.s)
-		if live {
-			sub.b.lost += sub.s.dropped
-		}
+		sub.b.nsubs.Store(int64(len(sub.b.subs)))
 		sub.b.mu.Unlock()
 		if live {
 			close(sub.s.ch)
@@ -160,24 +161,17 @@ func (b *Bus) Publish(ev Event) {
 		select {
 		case s.ch <- ev:
 		default:
-			s.dropped++
+			s.dropped.Add(1)
+			b.drops.Add(1)
 		}
 	}
 }
 
-// DroppedTotal returns the number of events lost over the bus's lifetime:
-// drops at current subscribers plus drops carried over from detached ones.
+// DroppedTotal returns the number of events lost over the bus's lifetime.
 // It is monotone — cancelling a lagging subscriber does not erase its
-// losses.
-func (b *Bus) DroppedTotal() uint64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	n := b.lost
-	for s := range b.subs {
-		n += s.dropped
-	}
-	return n
-}
+// losses — and lock-free, so metrics scrapes read it without contending
+// with publishers.
+func (b *Bus) DroppedTotal() uint64 { return b.drops.Load() }
 
 // Close closes every subscriber channel and rejects future subscriptions.
 // It is idempotent.
@@ -189,16 +183,12 @@ func (b *Bus) Close() {
 	}
 	b.closed = true
 	for s := range b.subs {
-		b.lost += s.dropped
 		close(s.ch)
 		delete(b.subs, s)
 	}
+	b.nsubs.Store(0)
 }
 
-// HasSubscribers reports whether any consumer is attached (fast path to
-// skip event construction entirely on hot simulation loops).
-func (b *Bus) HasSubscribers() bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return len(b.subs) > 0
-}
+// HasSubscribers reports whether any consumer is attached — the lock-free
+// fast path that lets hot loops skip event construction entirely.
+func (b *Bus) HasSubscribers() bool { return b.nsubs.Load() > 0 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"rtdls/internal/cluster"
 	"rtdls/internal/errs"
@@ -52,6 +53,12 @@ type Config struct {
 	// creates a private bus and closes it on Close; a shared bus is owned
 	// — and closed — by whoever created it.
 	Bus *Bus
+
+	// Metrics optionally instruments the service: per-stage admission
+	// latency histograms, per-shard outcome counters and load gauges on
+	// the bound registry. Shards of a pool share one Metrics. Nil disables
+	// instrumentation at zero cost.
+	Metrics *Metrics
 }
 
 // Decision is the outcome of one Submit: either an admission with the
@@ -81,8 +88,9 @@ type Decision struct {
 	Rounds int
 }
 
-// Stats is an atomic snapshot of the service's admission and cluster
-// state, taken under one lock acquisition.
+// Stats is a snapshot of the service's admission and cluster state, read
+// entirely from atomics — taking one never contends with the admission
+// lock.
 type Stats struct {
 	Time float64 // clock reading at the snapshot
 
@@ -137,13 +145,26 @@ type Service struct {
 	ownBus bool
 
 	maxQueue  int
-	closed    bool
-	accepting bool
+	closed    atomic.Bool
+	accepting atomic.Bool
 
-	arrivals int
-	accepts  int
-	rejects  int
-	exec     ExecStats
+	// Admission counters and cluster-accounting mirrors live on atomics so
+	// Stats() — the /v1/stats and /metrics read path — never contends with
+	// the admission lock. Writes happen inside locked sections (the mirrors
+	// are refreshed in commitDueLocked, the only place cluster accounting
+	// changes), so a snapshot is exact at quiescence.
+	arrivals    atomic.Int64
+	accepts     atomic.Int64
+	rejects     atomic.Int64
+	commits     atomic.Int64
+	busyBits    atomic.Uint64 // cluster.BusyTime() as float64 bits
+	idleBits    atomic.Uint64 // cluster.ReservedIdle() as float64 bits
+	releaseBits atomic.Uint64 // cluster.LastRelease() as float64 bits
+
+	exec ExecStats // under mu
+
+	met  *Metrics          // nil when uninstrumented
+	inst *shardInstruments // this shard's counters/gauges (nil with met)
 }
 
 // New validates the configuration and returns a ready service.
@@ -172,18 +193,25 @@ func New(cfg Config) (*Service, error) {
 	if bus == nil {
 		bus, ownBus = NewBus(), true
 	}
-	return &Service{
-		cl:        cfg.Cluster,
-		sched:     sched,
-		clock:     clock,
-		obs:       cfg.Observer,
-		bus:       bus,
-		shard:     cfg.Shard,
-		ownBus:    ownBus,
-		maxQueue:  cfg.MaxQueue,
-		accepting: true,
-		exec:      ExecStats{MaxLateness: math.Inf(-1)},
-	}, nil
+	s := &Service{
+		cl:       cfg.Cluster,
+		sched:    sched,
+		clock:    clock,
+		obs:      cfg.Observer,
+		bus:      bus,
+		shard:    cfg.Shard,
+		ownBus:   ownBus,
+		maxQueue: cfg.MaxQueue,
+		exec:     ExecStats{MaxLateness: math.Inf(-1)},
+	}
+	s.accepting.Store(true)
+	if cfg.Metrics != nil {
+		s.met = cfg.Metrics
+		s.inst = cfg.Metrics.shard(cfg.Shard)
+		sched.SetStageObserver(cfg.Metrics)
+		cfg.Metrics.observeBus(bus)
+	}
+	return s, nil
 }
 
 // Cluster returns the cluster the service manages.
@@ -246,10 +274,10 @@ func (s *Service) SubmitBatch(ctx context.Context, tasks []rt.Task) ([]Decision,
 }
 
 func (s *Service) submitLocked(task rt.Task) (Decision, error) {
-	if s.closed {
+	if s.closed.Load() {
 		return Decision{}, fmt.Errorf("service: closed: %w", errs.ErrClusterBusy)
 	}
-	if !s.accepting {
+	if !s.accepting.Load() {
 		return Decision{}, fmt.Errorf("service: draining: %w", errs.ErrClusterBusy)
 	}
 	now := s.clock.Now()
@@ -280,16 +308,25 @@ func (s *Service) submitLocked(task rt.Task) (Decision, error) {
 	if err != nil {
 		return Decision{}, err
 	}
-	s.arrivals++
+	s.arrivals.Add(1)
 	if !accepted {
 		// The scheduler already notified the legacy observer; publish the
 		// typed stream event here.
-		s.rejects++
+		s.rejects.Add(1)
+		if s.inst != nil {
+			s.inst.submits.Inc()
+			s.inst.reject(errs.ReasonInfeasible)
+		}
 		d := Decision{TaskID: t.ID, At: now, Shard: s.shard, Reason: errs.ReasonInfeasible}
 		s.publishLocked(Event{Kind: EventReject, Time: now, Task: *t, Reason: errs.ReasonInfeasible})
 		return d, nil
 	}
-	s.accepts++
+	s.accepts.Add(1)
+	if s.inst != nil {
+		s.inst.submits.Inc()
+		s.inst.accepts.Inc()
+		s.noteQueueLocked()
+	}
 	pl := s.sched.PlanFor(t.ID)
 	d := Decision{
 		TaskID:   t.ID,
@@ -312,8 +349,12 @@ func (s *Service) submitLocked(task rt.Task) (Decision, error) {
 // rejectLocked records a service-level rejection (the schedulability test
 // did not run) and notifies both the legacy observer and the stream.
 func (s *Service) rejectLocked(t *rt.Task, now float64, reason errs.Reason) Decision {
-	s.arrivals++
-	s.rejects++
+	s.arrivals.Add(1)
+	s.rejects.Add(1)
+	if s.inst != nil {
+		s.inst.submits.Inc()
+		s.inst.reject(reason)
+	}
 	if s.obs != nil {
 		s.obs.OnReject(now, t)
 	}
@@ -343,6 +384,9 @@ func (s *Service) commitDueLocked(now float64) error {
 	if err != nil {
 		return err
 	}
+	if len(plans) == 0 {
+		return nil
+	}
 	for _, pl := range plans {
 		// Multi-round plans carry an exact simulated Est, and OPR-style
 		// plans complete exactly at Est (all nodes start at r_n); only
@@ -363,12 +407,35 @@ func (s *Service) commitDueLocked(now float64) error {
 		if l := actual - pl.Task.AbsDeadline(); l > s.exec.MaxLateness {
 			s.exec.MaxLateness = l
 		}
+		s.commits.Add(1)
 		s.publishLocked(Event{
 			Kind: EventCommit, Time: now, Task: *pl.Task,
 			Nodes: len(pl.Nodes), Est: pl.Est,
 		})
 	}
+	// Cluster accounting only changes on commit: refresh the lock-free
+	// mirrors Stats() and the utilization gauges read.
+	busy := s.cl.BusyTime()
+	rel := s.cl.LastRelease()
+	s.busyBits.Store(math.Float64bits(busy))
+	s.idleBits.Store(math.Float64bits(s.cl.ReservedIdle()))
+	s.releaseBits.Store(math.Float64bits(rel))
+	if s.inst != nil {
+		s.inst.commits.Add(uint64(len(plans)))
+		s.inst.busyTime.Set(busy)
+		s.inst.utilization.Set(s.cl.Utilization(math.Max(now, rel)))
+		s.noteQueueLocked()
+	}
 	return nil
+}
+
+// noteQueueLocked refreshes the shard's queue-depth gauges from the
+// scheduler's lock-free counters. Callers hold s.mu and have checked
+// s.inst != nil.
+func (s *Service) noteQueueLocked() {
+	q := float64(s.sched.Stats().QueueLen)
+	s.inst.queueDepth.Set(q)
+	s.inst.queueDepthMax.SetMax(q)
 }
 
 // NextCommit returns the earliest pending first-transmission time, or
@@ -404,28 +471,34 @@ func (s *Service) Drain() error {
 	}
 }
 
-// Stats returns a consistent snapshot of the admission counters and
-// cluster accounting.
+// Stats returns a snapshot of the admission counters and cluster
+// accounting. It is lock-free: every field is read from an atomic, so a
+// scrape or /v1/stats poll never contends with the admission lock. A
+// snapshot taken while a submission is in flight may be mid-update by that
+// one task; at quiescence it is exact, field for field, to what the
+// lock-held implementation returned.
 func (s *Service) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	now := s.clock.Now()
 	ss := s.sched.Stats()
-	span := math.Max(now, s.cl.LastRelease())
-	return Stats{
+	busy := math.Float64frombits(s.busyBits.Load())
+	rel := math.Float64frombits(s.releaseBits.Load())
+	st := Stats{
 		Time:          now,
-		Arrivals:      s.arrivals,
-		Accepts:       s.accepts,
-		Rejects:       s.rejects,
-		Commits:       s.exec.Committed,
+		Arrivals:      int(s.arrivals.Load()),
+		Accepts:       int(s.accepts.Load()),
+		Rejects:       int(s.rejects.Load()),
+		Commits:       int(s.commits.Load()),
 		QueueLen:      ss.QueueLen,
 		MaxQueueLen:   ss.MaxQueueLen,
-		BusyTime:      s.cl.BusyTime(),
-		ReservedIdle:  s.cl.ReservedIdle(),
-		LastRelease:   s.cl.LastRelease(),
-		Utilization:   s.cl.Utilization(span),
+		BusyTime:      busy,
+		ReservedIdle:  math.Float64frombits(s.idleBits.Load()),
+		LastRelease:   rel,
 		EventsDropped: s.bus.DroppedTotal(),
 	}
+	if span := math.Max(now, rel); span > 0 {
+		st.Utilization = busy / (float64(s.cl.N()) * span)
+	}
+	return st
 }
 
 // Exec returns the accumulated execution metrics of committed plans.
@@ -455,11 +528,12 @@ func (s *Service) SubscribeStream(buffer int) *Subscription {
 // queue, commits and event stream keep operating. It is the first step of
 // a graceful drain — stop accepting, Drain, then Close — and is reversible
 // until Close.
-func (s *Service) SetAccepting(accepting bool) {
-	s.mu.Lock()
-	s.accepting = accepting
-	s.mu.Unlock()
-}
+func (s *Service) SetAccepting(accepting bool) { s.accepting.Store(accepting) }
+
+// Accepting reports whether the admission gate is open: true until
+// SetAccepting(false) or Close. It is lock-free — the health endpoint
+// polls it without touching the admission lock.
+func (s *Service) Accepting() bool { return s.accepting.Load() && !s.closed.Load() }
 
 // QueueLen returns the number of admitted-but-uncommitted tasks — the
 // cheap load signal the pool's placement layer samples on every submit.
@@ -475,9 +549,7 @@ func (s *Service) Shard() int { return s.shard }
 // closes it itself). Waiting plans are not committed; call Drain first to
 // flush them. Close is idempotent.
 func (s *Service) Close() error {
-	s.mu.Lock()
-	s.closed = true
-	s.mu.Unlock()
+	s.closed.Store(true)
 	if s.ownBus {
 		s.bus.Close()
 	}

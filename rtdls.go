@@ -22,7 +22,10 @@ import (
 // the dlload load harness, with the wire-stable Reason enum and Code
 // status mapping — and removed the deprecated 1.x Config/Run/RunSeries
 // batch shims (use Simulate/SimulateSeries with BaselineWorkload).
-const Version = "3.0.0"
+// 3.1.0 added the end-to-end observability layer (NewMetricsRegistry,
+// WithMetrics, Accepting; /metrics exposition, per-stage admission
+// timing, structured request logs and pprof wiring in dlserve).
+const Version = "3.1.0"
 
 // Params holds the cluster's linear cost coefficients: Cms is the time to
 // transmit one unit of load from the head node to a processing node, Cps

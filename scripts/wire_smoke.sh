@@ -3,7 +3,10 @@
 # it, SIGTERM the server, and assert that
 #   - dlload saw zero hard 5xx and p99 under the bound (dlload exits 1 otherwise),
 #   - every busy rejection carried a Retry-After hint,
-#   - the drain lost no committed task (accepts == commits, empty queue).
+#   - the drain lost no committed task (accepts == commits, empty queue),
+#   - the /metrics counters agree with themselves: a live scrape shows
+#     submits == accepts + rejects, and the post-drain exposition shows
+#     accepts == commits with zero dropped events.
 # Run locally via `make wire-smoke`; CI runs this same script.
 set -eu
 
@@ -21,7 +24,8 @@ $GO build -o "$tmp/dlserve" ./cmd/dlserve
 $GO build -o "$tmp/dlload" ./cmd/dlload
 
 "$tmp/dlserve" -addr "$ADDR" -n 8 -shards 4 -placement spillover -max-queue 64 \
-	-scale 100000 -quiet -final-stats "$tmp/final_stats.json" &
+	-scale 100000 -quiet -log-format json -final-stats "$tmp/final_stats.json" \
+	-final-metrics "$tmp/final_metrics.prom" &
 server_pid=$!
 
 # Wait for the server to come up.
@@ -35,6 +39,28 @@ done
 "$tmp/dlload" -url "http://$ADDR" -mode closed -workers "$WORKERS" -n "$N" \
 	-sigma 200 -deadline 20000 -sigma-spread 2 \
 	-max-p99 "$MAX_P99_MS" -fail-on-5xx -require-retry-after -out "$OUT"
+
+# Live scrape while the server is still up: every submission must have
+# been decided, so the counters already balance.
+curl -sf "http://$ADDR/metrics" > "$tmp/metrics_live.prom"
+
+# msum FAMILY FILE sums every series of one counter family (all label
+# combinations), printing an integer.
+msum() {
+	awk -v m="$1" 'substr($1, 1, length(m)) == m &&
+		(length($1) == length(m) || substr($1, length(m) + 1, 1) == "{") { s += $2 }
+		END { printf "%.0f\n", s }' "$2"
+}
+
+m_submits=$(msum rtdls_submits_total "$tmp/metrics_live.prom")
+m_accepts=$(msum rtdls_accepts_total "$tmp/metrics_live.prom")
+m_rejects=$(msum rtdls_rejects_total "$tmp/metrics_live.prom")
+echo "wire-smoke: /metrics submits=$m_submits accepts=$m_accepts rejects=$m_rejects"
+[ "$m_submits" -gt 0 ] || { echo "wire-smoke: /metrics shows no submissions" >&2; exit 1; }
+[ "$m_submits" -eq $((m_accepts + m_rejects)) ] || {
+	echo "wire-smoke: /metrics invariant broken: submits != accepts + rejects" >&2
+	exit 1
+}
 
 # Graceful drain: SIGTERM, wait for exit, then check the final snapshot.
 kill -TERM "$server_pid"
@@ -51,4 +77,14 @@ echo "wire-smoke: accepts=$accepts commits=$commits queue=$queue http_5xx=$fivex
 [ "$accepts" -eq "$commits" ] || { echo "wire-smoke: drain lost committed tasks" >&2; exit 1; }
 [ "$queue" -eq 0 ] || { echo "wire-smoke: queue not empty after drain" >&2; exit 1; }
 [ "$fivexx" -eq 0 ] || { echo "wire-smoke: server counted hard 5xx responses" >&2; exit 1; }
+
+# The post-drain exposition must agree: every accept was committed by the
+# drain, and the event bus dropped nothing (no SSE subscribers ran).
+[ -s "$tmp/final_metrics.prom" ] || { echo "wire-smoke: missing final metrics" >&2; exit 1; }
+f_accepts=$(msum rtdls_accepts_total "$tmp/final_metrics.prom")
+f_commits=$(msum rtdls_commits_total "$tmp/final_metrics.prom")
+f_dropped=$(msum rtdls_events_dropped_total "$tmp/final_metrics.prom")
+echo "wire-smoke: final metrics accepts=$f_accepts commits=$f_commits events_dropped=$f_dropped"
+[ "$f_accepts" -eq "$f_commits" ] || { echo "wire-smoke: final metrics accepts != commits" >&2; exit 1; }
+[ "$f_dropped" -eq 0 ] || { echo "wire-smoke: event bus dropped events" >&2; exit 1; }
 echo "wire-smoke: OK"

@@ -6,6 +6,7 @@ import (
 
 	"rtdls/internal/cluster"
 	"rtdls/internal/driver"
+	"rtdls/internal/metrics"
 	"rtdls/internal/pool"
 	"rtdls/internal/rt"
 	"rtdls/internal/service"
@@ -119,6 +120,7 @@ type serviceOptions struct {
 	placement  Placement
 	shardNodes []int
 	shardCosts [][]NodeCost
+	metrics    *MetricsRegistry
 }
 
 func defaultOptions() serviceOptions {
@@ -254,6 +256,33 @@ func WithMaxQueue(n int) Option {
 			return fmt.Errorf("rtdls: WithMaxQueue(%d): %w", n, ErrBadConfig)
 		}
 		o.maxQueue = n
+		return nil
+	}
+}
+
+// MetricsRegistry holds the service's instruments — atomic counters,
+// gauges and log-bucketed latency histograms — and renders them in the
+// Prometheus text exposition format (mount it as GET /metrics; it
+// implements http.Handler). Instrument updates and scrape reads are all
+// atomic operations: observing the service never takes its admission lock.
+type MetricsRegistry = metrics.Registry
+
+// NewMetricsRegistry returns an empty registry for WithMetrics.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// WithMetrics instruments the service on the given registry: per-stage
+// admission latency histograms (rtdls_admission_stage_seconds), per-shard
+// outcome counters (rtdls_submits_total, rtdls_accepts_total,
+// rtdls_rejects_total, rtdls_commits_total), load gauges
+// (rtdls_queue_depth, rtdls_utilization, ...) and the event-stream drop
+// counter (rtdls_events_dropped_total). One registry may be shared by
+// several services; metric registration is idempotent. Simulate ignores it.
+func WithMetrics(reg *MetricsRegistry) Option {
+	return func(o *serviceOptions) error {
+		if reg == nil {
+			return fmt.Errorf("rtdls: WithMetrics(nil): %w", ErrBadConfig)
+		}
+		o.metrics = reg
 		return nil
 	}
 }
@@ -436,6 +465,7 @@ func New(opts ...Option) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
+	met := service.NewMetrics(o.metrics) // nil registry → nil Metrics
 	if !o.pooled() {
 		part, err := driver.PartitionerFor(o.algorithm, o.rounds, cms[0])
 		if err != nil {
@@ -452,6 +482,7 @@ func New(opts ...Option) (*Service, error) {
 			Clock:       o.clock,
 			Observer:    o.observer,
 			MaxQueue:    o.maxQueue,
+			Metrics:     met,
 		})
 		if err != nil {
 			return nil, err
@@ -476,7 +507,7 @@ func New(opts ...Option) (*Service, error) {
 			Observer:    o.observer,
 		}
 	}
-	pl, err := pool.New(pool.Config{Shards: shards, Placement: o.placement, Clock: o.clock})
+	pl, err := pool.New(pool.Config{Shards: shards, Placement: o.placement, Clock: o.clock, Metrics: met})
 	if err != nil {
 		return nil, err
 	}
@@ -525,6 +556,11 @@ func (s *Service) SubscribeStream(buffer int) *Subscription {
 // graceful drain — SetAccepting(false), Drain, Close — and is reversible
 // until Close.
 func (s *Service) SetAccepting(accepting bool) { s.engine.SetAccepting(accepting) }
+
+// Accepting reports whether the admission gate is open: true until
+// SetAccepting(false) or Close. Lock-free — health checks poll it without
+// contending with submissions.
+func (s *Service) Accepting() bool { return s.engine.Accepting() }
 
 // Stats returns a consistent snapshot of the admission counters, queue
 // depth and cluster utilization — aggregated over every shard for a
