@@ -3,7 +3,7 @@
 
 GO ?= go
 FUZZTIME ?= 10s
-FUZZ_PKGS := ./internal/core ./internal/dlt
+FUZZ_PKGS := ./internal/core ./internal/dlt ./internal/fleet
 
 .PHONY: build test bench bench-json fmt fmt-check vet race fuzz-smoke serve loadtest wire-smoke ci
 

@@ -15,11 +15,19 @@
 //
 //	dlload -mode open -replay arrivals.txt
 //
+// Chaos testing — drive node churn against the server while the traffic
+// runs (the ops are POSTed to the fleet admin API at wall offsets from
+// the run start, and the displacement/re-admission outcome lands in the
+// report):
+//
+//	dlload -mode open -rate 2000 -n 20000 -churn "t=2s fail n3; t=6s restore n3"
+//
 // The run writes an HDR-style latency/outcome report (BENCH_wire.json by
 // default) and can gate CI: -max-p99 fails the run when the p99 admission
 // latency exceeds the bound, -fail-on-5xx when any hard server error was
-// seen, and -require-retry-after when a busy rejection arrived without a
-// usable Retry-After hint.
+// seen, -require-retry-after when a busy rejection arrived without a
+// usable Retry-After hint, and -fail-on-churn-errors when any churn op
+// was refused by the server.
 package main
 
 import (
@@ -34,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"rtdls/internal/fleet"
 	"rtdls/internal/load"
 )
 
@@ -53,9 +62,12 @@ func main() {
 		timeout = flag.Duration("timeout", 10*time.Second, "per-request timeout")
 		out     = flag.String("out", "BENCH_wire.json", "report output path (empty = stdout only)")
 
+		churn = flag.String("churn", "", "node churn schedule POSTed to the server at wall offsets from the run start, e.g. \"t=2s fail n3; t=6s restore n3\"")
+
 		maxP99       = flag.Float64("max-p99", 0, "fail when p99 latency exceeds this many ms (0 = off)")
 		failOn5xx    = flag.Bool("fail-on-5xx", false, "fail when any hard 5xx (≠503) was received")
 		requireRetry = flag.Bool("require-retry-after", false, "fail when a busy rejection lacked Retry-After")
+		failOnChurn  = flag.Bool("fail-on-churn-errors", false, "fail when any churn op was refused by the server")
 	)
 	flag.Parse()
 
@@ -80,6 +92,13 @@ func main() {
 		opts.Replay = offs
 		opts.Mode = "open"
 	}
+	if *churn != "" {
+		sch, err := fleet.ParseSchedule(*churn)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Churn = sch
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
@@ -97,6 +116,10 @@ func main() {
 	fmt.Printf("dlload: latency ms p50=%.3f p90=%.3f p99=%.3f p999=%.3f mean=%.3f max=%.3f\n",
 		rep.Latency.P50Ms, rep.Latency.P90Ms, rep.Latency.P99Ms,
 		rep.Latency.P999Ms, rep.Latency.MeanMs, rep.Latency.MaxMs)
+	if rep.Churn != nil {
+		fmt.Printf("dlload: churn applied=%d failed=%d displaced=%d readmitted=%d\n",
+			rep.Churn.Applied, rep.Churn.Failed, rep.Churn.Displaced, rep.Churn.Readmitted)
+	}
 
 	if *out != "" {
 		if err := rep.WriteJSON(*out); err != nil {
@@ -116,6 +139,10 @@ func main() {
 	}
 	if *requireRetry && !rep.RetryAfter.Compliant {
 		fmt.Fprintf(os.Stderr, "dlload: FAIL: %d backpressure responses lacked Retry-After\n", rep.RetryAfter.Missing)
+		failed = true
+	}
+	if *failOnChurn && rep.Churn != nil && rep.Churn.Failed > 0 {
+		fmt.Fprintf(os.Stderr, "dlload: FAIL: %d churn ops refused by the server\n", rep.Churn.Failed)
 		failed = true
 	}
 	if failed {

@@ -11,6 +11,13 @@
 //
 //	dlserve -addr :8080 -n 8 -shards 4 -placement spillover -max-queue 64
 //
+// Fleet operations: POST /v1/nodes/{id}/{drain|fail|restore} changes one
+// node's lifecycle state at runtime (displaced tasks are re-admitted
+// through the normal schedulability test), and -churn scripts the same
+// operations at wall-clock offsets from startup:
+//
+//	dlserve -addr :8080 -n 16 -churn "t=5s fail n3; t=12s restore n3"
+//
 // Observability: GET /metrics serves the Prometheus text exposition
 // (per-stage admission latency, per-shard outcomes, HTTP metrics);
 // -pprof-addr serves net/http/pprof on a separate listener; -log-level
@@ -39,6 +46,7 @@ import (
 	"time"
 
 	"rtdls"
+	"rtdls/internal/fleet"
 	"rtdls/internal/server"
 )
 
@@ -64,6 +72,7 @@ func main() {
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
 		logFormat = flag.String("log-format", "text", "log format: text or json")
 		quiet     = flag.Bool("quiet", false, "suppress per-request logging")
+		churn     = flag.String("churn", "", "node churn schedule applied in-process at wall offsets from startup, e.g. \"t=5s fail n3; t=12s restore n3\"")
 	)
 	flag.Parse()
 
@@ -75,7 +84,7 @@ func main() {
 
 	if err := run(*addr, *n, *cms, *cps, *policy, *alg, *rounds, *maxQueue,
 		*shards, *placement, *seed, *scale, *maxRetry, *drainWait,
-		*stats, *metricsF, *pprofAddr, logger, *quiet); err != nil {
+		*stats, *metricsF, *pprofAddr, logger, *quiet, *churn); err != nil {
 		fmt.Fprintln(os.Stderr, "dlserve:", err)
 		os.Exit(1)
 	}
@@ -111,9 +120,13 @@ func buildLogger(level, format string) (*slog.Logger, error) {
 func run(addr string, n int, cms, cps float64, policyName, alg string, rounds, maxQueue,
 	shards int, placementName string, seed uint64, scale, maxRetry float64,
 	drainWait time.Duration, statsPath, metricsPath, pprofAddr string,
-	logger *slog.Logger, quiet bool) error {
+	logger *slog.Logger, quiet bool, churnSpec string) error {
 
 	pol, err := rtdls.ParsePolicy(policyName)
+	if err != nil {
+		return err
+	}
+	churnSched, err := fleet.ParseSchedule(churnSpec)
 	if err != nil {
 		return err
 	}
@@ -182,6 +195,27 @@ func run(addr string, n int, cms, cps float64, policyName, alg string, rounds, m
 	logger.Info("listening", slog.String("addr", ln.Addr().String()),
 		slog.Int("nodes", n), slog.Int("shards", shards), slog.Float64("scale", scale))
 
+	// The churn schedule runs in-process against the engine at wall-clock
+	// offsets from startup; it stops when the server begins draining.
+	churnDone := make(chan struct{})
+	defer close(churnDone)
+	if len(churnSched) > 0 {
+		go func() {
+			err := fleet.Run(churnDone, churnSched, func(op fleet.Op) error {
+				res, err := fleet.Apply(eng, op)
+				if err != nil {
+					return err
+				}
+				logger.Info("churn", slog.String("op", op.String()),
+					slog.Int("displaced", res.Displaced), slog.Int("readmitted", res.Readmitted))
+				return nil
+			})
+			if err != nil {
+				logger.Error("churn schedule aborted", slog.Any("err", err))
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
 	select {
@@ -205,6 +239,7 @@ func run(addr string, n int, cms, cps float64, policyName, alg string, rounds, m
 	logger.Info("final stats",
 		slog.Int("arrivals", final.Arrivals), slog.Int("accepts", final.Accepts),
 		slog.Int("rejects", final.Rejects), slog.Int("commits", final.Commits),
+		slog.Int("displaced", final.Displaced), slog.Int("readmitted", final.Readmitted),
 		slog.Int("queue", final.QueueLen), slog.Int64("http", total), slog.Int64("http_5xx", fivexx))
 	if statsPath != "" {
 		snapshot := struct {

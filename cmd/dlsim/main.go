@@ -57,6 +57,8 @@ func main() {
 
 		shards    = flag.Int("shards", 0, "split the fleet into K independent clusters of -n nodes each (0 = single cluster)")
 		placement = flag.String("placement", "round-robin", fmt.Sprintf("shard routing policy: one of %v", rtdls.Placements()))
+
+		churn = flag.String("churn", "", "node churn schedule, e.g. \"t=5000 fail n3; t=12000 restore n3\" (offsets in simulated time units; node ids shard-major)")
 	)
 	flag.Parse()
 
@@ -93,6 +95,13 @@ func main() {
 			fail(err)
 		}
 		opts = append(opts, rtdls.WithShards(*shards), rtdls.WithPlacement(place))
+	}
+	if *churn != "" {
+		sch, err := rtdls.ParseChurnSchedule(*churn)
+		if err != nil {
+			fail(err)
+		}
+		opts = append(opts, rtdls.WithChurn(sch))
 	}
 	costModel, err := rtdls.CostModelFor(opts...)
 	if err != nil {
@@ -162,6 +171,11 @@ func main() {
 	fmt.Printf("  utilization     %.4f\n", res.Utilization)
 	fmt.Printf("  reserved idle   %.4f (wasted IIT fraction; OPR only)\n", res.ReservedIdleFrac)
 	fmt.Printf("  max queue       %d\n", res.MaxQueueLen)
+	if *churn != "" {
+		fmt.Printf("  displaced       %d (admitted seats lost to node churn)\n", res.Displaced)
+		fmt.Printf("  readmitted      %d (displaced tasks re-seated on another shard)\n", res.Readmitted)
+		fmt.Printf("  late commits    %d (must be 0: churn displaces, never breaks deadlines)\n", res.LateCommits)
+	}
 	if res.Shards > 1 {
 		fmt.Printf("  spillovers      %d\n", res.Spillovers)
 		fmt.Printf("  shard rejects  ")

@@ -88,6 +88,23 @@
 // measured against intended arrival instants to avoid coordinated
 // omission) — and emits an HDR-style latency/outcome report.
 //
+// Since 3.2.0 the fleet is dynamic. DrainNode stops placing new work on
+// a node (committed work finishes), FailNode removes its capacity now,
+// RestoreNode returns it to service, and AddNode grows the cluster — on
+// a Service, a Pool and over the wire (POST /v1/nodes/{id}/{action}).
+// On capacity loss the scheduler re-validates every admitted-but-
+// uncommitted plan through the normal schedulability test; tasks that no
+// longer fit are displaced (EventDisplace, ReasonNodeUnavailable,
+// ErrDisplaced) and, on a pool, re-admitted on another shard when one
+// passes the test. Committed plans are never broken — churn displaces,
+// it does not create deadline misses — and a fail-then-restore cycle
+// with an empty interim queue is property-tested to leave the scheduler
+// bit-identical to one that never failed. Churn is scriptable with one
+// grammar everywhere (ParseChurnSchedule; -churn on dlsim, dlserve and
+// dlload): ";"-separated "t=<offset> <drain|fail|restore> <node>"
+// entries, deterministic under the simulated clock via WithChurn and
+// chaos-style over the wire from the load generator. See examples/churn.
+//
 // The stack is observable end to end without external dependencies:
 // NewMetricsRegistry plus WithMetrics install an atomic instrumentation
 // layer (internal/metrics) that the server renders as Prometheus text

@@ -32,6 +32,12 @@ var (
 	// ErrBadConfig marks invalid input: malformed tasks, cost tables,
 	// workloads or options.
 	ErrBadConfig = errs.ErrBadConfig
+
+	// ErrDisplaced marks an admitted-but-uncommitted task that lost its
+	// seat when a node was drained or failed and the remaining capacity
+	// could not absorb its plan (EventDisplace on the stream; on a pooled
+	// service the task may still be re-admitted on another shard).
+	ErrDisplaced = errs.ErrDisplaced
 )
 
 // Reason is the wire-stable string enum naming a rejection class. It is
@@ -45,26 +51,28 @@ type Reason = errs.Reason
 // The documented Reason enum. Tokens are append-only wire contract: new
 // classes may be added, existing tokens are never renamed or reused.
 const (
-	ReasonNone         = errs.ReasonNone         // accepted ("")
-	ReasonInfeasible   = errs.ReasonInfeasible   // "infeasible" → ErrInfeasible
-	ReasonDeadlinePast = errs.ReasonDeadlinePast // "deadline-past" → ErrDeadlinePast
-	ReasonBusy         = errs.ReasonBusy         // "busy" → ErrClusterBusy
-	ReasonBadRequest   = errs.ReasonBadRequest   // "bad-request" → ErrBadConfig (wire errors only)
-	ReasonCancelled    = errs.ReasonCancelled    // "cancelled" (wire errors only)
-	ReasonInternal     = errs.ReasonInternal     // "internal" (wire errors only)
+	ReasonNone            = errs.ReasonNone            // accepted ("")
+	ReasonInfeasible      = errs.ReasonInfeasible      // "infeasible" → ErrInfeasible
+	ReasonDeadlinePast    = errs.ReasonDeadlinePast    // "deadline-past" → ErrDeadlinePast
+	ReasonBusy            = errs.ReasonBusy            // "busy" → ErrClusterBusy
+	ReasonBadRequest      = errs.ReasonBadRequest      // "bad-request" → ErrBadConfig (wire errors only)
+	ReasonNodeUnavailable = errs.ReasonNodeUnavailable // "node-unavailable" → ErrDisplaced
+	ReasonCancelled       = errs.ReasonCancelled       // "cancelled" (wire errors only)
+	ReasonInternal        = errs.ReasonInternal        // "internal" (wire errors only)
 )
 
 // Wire status codes returned by Code. The values are HTTP-compatible on
 // purpose — dlserve uses them verbatim as response statuses — and are
 // never renumbered.
 const (
-	CodeOK           = errs.CodeOK           // 200
-	CodeBadRequest   = errs.CodeBadRequest   // 400 ← ErrBadConfig
-	CodeDeadlinePast = errs.CodeDeadlinePast // 410 ← ErrDeadlinePast
-	CodeInfeasible   = errs.CodeInfeasible   // 422 ← ErrInfeasible
-	CodeBusy         = errs.CodeBusy         // 429 ← ErrClusterBusy
-	CodeCancelled    = errs.CodeCancelled    // 499 ← context cancellation
-	CodeInternal     = errs.CodeInternal     // 500 ← anything else
+	CodeOK              = errs.CodeOK              // 200
+	CodeBadRequest      = errs.CodeBadRequest      // 400 ← ErrBadConfig
+	CodeDeadlinePast    = errs.CodeDeadlinePast    // 410 ← ErrDeadlinePast
+	CodeInfeasible      = errs.CodeInfeasible      // 422 ← ErrInfeasible
+	CodeBusy            = errs.CodeBusy            // 429 ← ErrClusterBusy
+	CodeNodeUnavailable = errs.CodeNodeUnavailable // 503 ← ErrDisplaced (retryable)
+	CodeCancelled       = errs.CodeCancelled       // 499 ← context cancellation
+	CodeInternal        = errs.CodeInternal        // 500 ← anything else
 )
 
 // Code maps any error in the stack (including a Reason's Err) to its

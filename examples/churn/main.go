@@ -1,0 +1,156 @@
+// Example churn puts a sharded admission pool through node-lifecycle
+// churn and compares how the fleet recovers from a graceful drain versus
+// a failure with later restore, via the live Service API.
+//
+// The identical task stream is replayed three times over a 4×8 pool on a
+// manual clock:
+//
+//   - baseline: the fleet never changes.
+//   - drain: at half-stream, shard 0's eight nodes are drained and never
+//     come back — a graceful decommission. Capacity is permanently down
+//     a quarter, so the reject ratio climbs for the rest of the run.
+//   - fail+restore: the same eight nodes fail at half-stream and rejoin
+//     at three quarters — a crash with recovery. The displaced waiting
+//     plans go back through placement (readmissions land on the live
+//     shards), and once the nodes return the pool recovers its baseline
+//     admission rate.
+//
+// Two invariants to observe in the output: committed deadlines are never
+// broken by churn (late commits stay 0 — the engine displaces instead),
+// and the accounting always reconciles as
+// accepts == commits + displaced − readmitted.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"rtdls"
+)
+
+const (
+	shards     = 4
+	perShard   = 8
+	totalNodes = shards * perShard
+	tasks      = 3000
+)
+
+var params = rtdls.Params{Cms: 8, Cps: 100}
+
+// churnOp is one scripted fleet operation at a stream position.
+type churnOp struct {
+	at    int // task index at which the op fires
+	fail  bool
+	nodes []int
+}
+
+func shard0Nodes() []int {
+	nodes := make([]int, perShard)
+	for i := range nodes {
+		nodes[i] = i // shard-major ids: shard 0 owns 0..perShard-1
+	}
+	return nodes
+}
+
+func replay(stream []rtdls.Task, ops []churnOp, restoreAt int) rtdls.ServiceStats {
+	clock := rtdls.NewManualClock(0)
+	svc, err := rtdls.New(
+		rtdls.WithParams(params),
+		rtdls.WithNodes(perShard),
+		rtdls.WithShards(shards),
+		rtdls.WithPlacement(rtdls.Spillover{Inner: rtdls.LeastLoaded{}}),
+		rtdls.WithClock(clock),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+	for i, task := range stream {
+		clock.Set(task.Arrival)
+		for _, op := range ops {
+			if op.at != i {
+				continue
+			}
+			for _, n := range op.nodes {
+				var err error
+				if op.fail {
+					_, err = svc.FailNode(n)
+				} else {
+					_, err = svc.DrainNode(n)
+				}
+				if err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		if restoreAt == i {
+			for _, n := range shard0Nodes() {
+				if _, err := svc.RestoreNode(n); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		if _, err := svc.Submit(ctx, task); err != nil {
+			log.Fatalf("task %d: %v", task.ID, err)
+		}
+	}
+	if err := svc.Drain(); err != nil {
+		log.Fatal(err)
+	}
+	return svc.Stats()
+}
+
+func main() {
+	gen, err := rtdls.NewGenerator(rtdls.WorkloadConfig{
+		N:          totalNodes,
+		Params:     params,
+		SystemLoad: 3.0,
+		AvgSigma:   200,
+		DCRatio:    20,
+		Horizon:    1e9,
+		Seed:       7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream := make([]rtdls.Task, 0, tasks)
+	for len(stream) < tasks {
+		t, ok := gen.Next()
+		if !ok {
+			break
+		}
+		stream = append(stream, *t)
+	}
+
+	half, threeQ := len(stream)/2, 3*len(stream)/4
+	scenarios := []struct {
+		label     string
+		ops       []churnOp
+		restoreAt int
+	}{
+		{"baseline (no churn)", nil, -1},
+		{"drain shard 0, no return", []churnOp{{at: half, fail: false, nodes: shard0Nodes()}}, -1},
+		{"fail shard 0, restore at 3/4", []churnOp{{at: half, fail: true, nodes: shard0Nodes()}}, threeQ},
+	}
+
+	fmt.Printf("identical stream of %d tasks over a %d×%d pool (~300%% aggregate load)\n\n",
+		len(stream), shards, perShard)
+	fmt.Printf("%-30s %8s %8s %9s %10s %6s %12s\n",
+		"scenario", "accepts", "rejects", "displaced", "readmitted", "late", "reject ratio")
+	for _, sc := range scenarios {
+		st := replay(stream, sc.ops, sc.restoreAt)
+		if st.Accepts != st.Commits+st.Displaced-st.Readmitted {
+			log.Fatalf("%s: accounting broken: %+v", sc.label, st)
+		}
+		fmt.Printf("%-30s %8d %8d %9d %10d %6d %12.4f\n",
+			sc.label, st.Accepts, st.Rejects, st.Displaced, st.Readmitted,
+			st.LateCommits, st.RejectRatio())
+	}
+	fmt.Println("\nDraining removes capacity for good, so the reject ratio climbs and")
+	fmt.Println("stays up. Failing with a later restore displaces the waiting plans —")
+	fmt.Println("the pool re-admits what still fits on the live shards — and recovers")
+	fmt.Println("once the nodes return. In both cases late commits stay 0: committed")
+	fmt.Println("deadlines are never sacrificed, displacement is how load is shed.")
+}

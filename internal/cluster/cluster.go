@@ -27,6 +27,10 @@ type Cluster struct {
 	reservedIdle float64   // accumulated inserted idle time wasted by reservations
 	lastRelease  float64   // latest committed release time
 	commits      int
+
+	// state holds per-node lifecycle states (see fleet.go). nil means
+	// every node is NodeUp — the fixed-fleet fast path allocates nothing.
+	state []NodeState
 }
 
 // New returns a homogeneous cluster with n processing nodes, all available

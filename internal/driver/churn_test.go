@@ -1,0 +1,141 @@
+package driver
+
+import (
+	"reflect"
+	"testing"
+
+	"rtdls/internal/fleet"
+)
+
+// churnCfg is a moderately loaded run with a fail/restore cycle in the
+// middle of the arrival window.
+func churnCfg(schedule string, shards int) Config {
+	cfg := Default()
+	cfg.SystemLoad = 0.9
+	cfg.Horizon = 2e5
+	cfg.Seed = 7
+	if shards > 0 {
+		cfg.N = 8
+		cfg.Shards = shards
+	}
+	sch, err := fleet.ParseSchedule(schedule)
+	if err != nil {
+		panic(err)
+	}
+	cfg.Churn = sch
+	return cfg
+}
+
+// TestChurnAccountingIdentity: under churn the driver's internal check is
+// the relaxed identity committed + displaced − readmitted == accepted;
+// this exercises it at the API surface for both engines and pins the
+// hard-real-time side condition LateCommits == 0.
+func TestChurnAccountingIdentity(t *testing.T) {
+	for _, shards := range []int{0, 4} {
+		res, err := Run(churnCfg("t=40000 fail n3; t=90000 drain n5; t=140000 restore n3; t=160000 restore n5", shards))
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if res.Arrivals == 0 {
+			t.Fatalf("shards=%d: no arrivals", shards)
+		}
+		if res.Committed+res.Displaced-res.Readmitted != res.Accepted {
+			t.Fatalf("shards=%d: %d committed + %d displaced - %d readmitted != %d accepted",
+				shards, res.Committed, res.Displaced, res.Readmitted, res.Accepted)
+		}
+		if res.LateCommits != 0 {
+			t.Fatalf("shards=%d: %d late commits — churn must displace, never break deadlines", shards, res.LateCommits)
+		}
+		if tol := 1e-6 * res.Span; res.MaxLateness > tol {
+			t.Fatalf("shards=%d: max lateness %v under churn", shards, res.MaxLateness)
+		}
+	}
+}
+
+// TestChurnDisplacesUnderLoad: failing half an 8-node cluster at 90%
+// load must actually unseat waiting work — otherwise the churn path is
+// dead code in this test suite.
+func TestChurnDisplacesUnderLoad(t *testing.T) {
+	cfg := churnCfg("t=50000 fail n0; t=50000 fail n1; t=50000 fail n2; t=50000 fail n3; t=150000 restore n0; t=150000 restore n1; t=150000 restore n2; t=150000 restore n3", 0)
+	cfg.N = 8
+	cfg.SystemLoad = 1.5
+	cfg.DCRatio = 12 // slack deadlines keep a waiting queue for the failure to hit
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Displaced == 0 {
+		t.Fatalf("no displacements: %+v", res)
+	}
+	// A single cluster has nowhere to re-seat displaced work.
+	if res.Readmitted != 0 {
+		t.Fatalf("readmitted = %d on a single cluster", res.Readmitted)
+	}
+}
+
+// TestChurnPoolReadmits: on a sharded pool a failed shard's displaced
+// tasks go back through placement, so some must land on a live shard.
+func TestChurnPoolReadmits(t *testing.T) {
+	cfg := churnCfg("t=50000 fail n0; t=50000 fail n1; t=50000 fail n2; t=50000 fail n3; "+
+		"t=50000 fail n4; t=50000 fail n5; t=50000 fail n6; t=50000 fail n7", 4)
+	cfg.SystemLoad = 1.5
+	cfg.DCRatio = 12 // slack deadlines keep per-shard waiting queues for the failure to hit
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Displaced == 0 {
+		t.Fatalf("failing a whole shard displaced nothing: %+v", res)
+	}
+	if res.Readmitted == 0 {
+		t.Fatalf("pool re-admitted nothing of %d displaced: %+v", res.Displaced, res)
+	}
+	if res.Readmitted > res.Displaced {
+		t.Fatalf("readmitted %d > displaced %d", res.Readmitted, res.Displaced)
+	}
+}
+
+// TestChurnReproducible: a churn schedule runs on the simulated clock, so
+// the same seed and schedule must reproduce the run bit for bit.
+func TestChurnReproducible(t *testing.T) {
+	for _, shards := range []int{0, 4} {
+		cfg := churnCfg("t=40000 fail n3; t=140000 restore n3", shards)
+		a, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("shards=%d: churn run not reproducible:\n%+v\n%+v", shards, a, b)
+		}
+	}
+}
+
+// TestChurnBadNode: a schedule naming a node outside the fleet must fail
+// the run with a typed error, not corrupt it.
+func TestChurnBadNode(t *testing.T) {
+	if _, err := Run(churnCfg("t=1000 fail n99", 0)); err == nil {
+		t.Fatal("out-of-range churn node must fail the run")
+	}
+	if _, err := Run(churnCfg("t=1000 fail n99", 4)); err == nil {
+		t.Fatal("out-of-range churn node must fail the pool run")
+	}
+}
+
+// TestNoChurnFieldsZero: without churn the new Result fields stay zero and
+// the classic strict identity holds (Committed == Accepted).
+func TestNoChurnFieldsZero(t *testing.T) {
+	res, err := Run(quickCfg(AlgDLTIIT, 0.7, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Displaced != 0 || res.Readmitted != 0 || res.LateCommits != 0 {
+		t.Fatalf("churn fields nonzero without churn: %+v", res)
+	}
+	if res.Committed != res.Accepted {
+		t.Fatalf("strict identity broken without churn: %+v", res)
+	}
+}

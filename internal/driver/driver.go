@@ -17,6 +17,7 @@ import (
 	"rtdls/internal/cluster"
 	"rtdls/internal/dlt"
 	"rtdls/internal/errs"
+	"rtdls/internal/fleet"
 	"rtdls/internal/multiround"
 	"rtdls/internal/pool"
 	"rtdls/internal/rt"
@@ -93,6 +94,16 @@ type Config struct {
 	// per-node cost table (len fixes the shard count); it overrides
 	// ShardNodes and the spread draw.
 	ShardNodeCosts [][]dlt.NodeCost
+
+	// Churn optionally scripts node drain/fail/restore operations into the
+	// run (parse with fleet.ParseSchedule). Offsets are simulation time
+	// units; each op fires as a discrete event at sim.PrioDefault — after
+	// commits due at that instant, before arrivals at it — so a churn run
+	// is exactly as reproducible as a churn-free one. Tasks displaced by a
+	// capacity loss keep their accept in the counters but never commit,
+	// which relaxes the run invariant to
+	// Committed + Displaced - Readmitted == Accepted.
+	Churn fleet.Schedule
 
 	Observer rt.Observer // optional lifecycle hooks
 }
@@ -232,6 +243,16 @@ type Result struct {
 	Placement         string    `json:",omitempty"`
 	Spillovers        int       `json:",omitempty"`
 	ShardRejectRatios []float64 `json:",omitempty"`
+
+	// Fleet-churn accounting, populated only when Config.Churn is set:
+	// Displaced counts accepted tasks that lost their seat to a node
+	// drain/fail, Readmitted how many of those a pool re-seated on another
+	// shard, and LateCommits how many committed tasks finished past their
+	// deadline (must stay 0 — displacement, not lateness, is how the model
+	// sheds load).
+	Displaced   int `json:",omitempty"`
+	Readmitted  int `json:",omitempty"`
+	LateCommits int `json:",omitempty"`
 }
 
 // PartitionerFor builds the partitioner named by algorithm through the
@@ -363,6 +384,20 @@ func Run(cfg Config) (*Result, error) {
 	}
 	scheduleNext()
 
+	// Churn ops are ordinary discrete events at PrioDefault: after commits
+	// due at the same instant, before arrivals at it. A displacement can
+	// change the earliest pending commit, so the commit chain is re-armed.
+	for _, op := range cfg.Churn.Sorted() {
+		op := op
+		s.AtPrio(op.At, sim.PrioDefault, func() {
+			if _, err := fleet.Apply(svc, op); err != nil {
+				fail(fmt.Errorf("driver: churn %q: %w", op.String(), err))
+				return
+			}
+			rearmCommit()
+		})
+	}
+
 	// Run to completion: arrivals stop at the horizon, then the waiting
 	// queue drains through its remaining commit events.
 	for runErr == nil && s.Step() {
@@ -381,6 +416,9 @@ func Run(cfg Config) (*Result, error) {
 		Committed:   ex.Committed,
 		MaxLateness: ex.MaxLateness,
 		MaxQueueLen: st.MaxQueueLen,
+		Displaced:   st.Displaced,
+		Readmitted:  st.Readmitted,
+		LateCommits: st.LateCommits,
 	}
 	if st.QueueLen != 0 {
 		return nil, fmt.Errorf("driver: %d tasks still waiting after drain", st.QueueLen)
@@ -389,8 +427,13 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("driver: accounting mismatch: %d arrivals != %d accepted + %d rejected",
 			res.Arrivals, res.Accepted, res.Rejected)
 	}
-	if res.Committed != res.Accepted {
-		return nil, fmt.Errorf("driver: %d committed != %d accepted", res.Committed, res.Accepted)
+	// Under churn an accepted task may be displaced instead of committed
+	// (and, on a pool, re-seated — its commit then lands normally); without
+	// churn both correction terms are zero and the identity collapses to
+	// the classic committed == accepted.
+	if res.Committed+res.Displaced-res.Readmitted != res.Accepted {
+		return nil, fmt.Errorf("driver: %d committed + %d displaced - %d readmitted != %d accepted",
+			res.Committed, res.Displaced, res.Readmitted, res.Accepted)
 	}
 
 	if res.Arrivals > 0 {

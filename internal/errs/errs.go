@@ -47,6 +47,14 @@ var (
 	// options or configurations — as opposed to an infeasible but
 	// well-formed admission request.
 	ErrBadConfig = errors.New("rtdls: invalid configuration")
+
+	// ErrDisplaced marks a task that lost its admitted-but-uncommitted
+	// seat because fleet capacity changed underneath it: a node its plan
+	// depended on was drained or failed, and the re-run schedulability
+	// test could not find it a new feasible seat. Emitted on the event
+	// stream (never as a Submit decision — the submission it displaces was
+	// already answered).
+	ErrDisplaced = errors.New("rtdls: admitted task displaced by node unavailability")
 )
 
 // Wire status codes, the stable integer encoding of the failure classes.
@@ -62,6 +70,12 @@ const (
 	CodeBusy         = 429 // ErrClusterBusy: queue bound hit, draining or closed
 	CodeCancelled    = 499 // context cancelled or its deadline exceeded
 	CodeInternal     = 500 // anything else — a bug, by definition
+
+	// CodeNodeUnavailable encodes ErrDisplaced: capacity vanished under a
+	// committed-but-undispatched plan. 503 on purpose — on the wire it
+	// means "the fleet lost the node you were placed on, retry", which
+	// clients already treat as retryable without special-casing.
+	CodeNodeUnavailable = 503
 )
 
 // Code maps an error anywhere in the stack to its stable wire status code.
@@ -80,6 +94,8 @@ func Code(err error) int {
 		return CodeInfeasible
 	case errors.Is(err, ErrClusterBusy):
 		return CodeBusy
+	case errors.Is(err, ErrDisplaced):
+		return CodeNodeUnavailable
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return CodeCancelled
 	default:
@@ -100,9 +116,10 @@ func Code(err error) int {
 //	"infeasible"    ErrInfeasible    422
 //	"deadline-past" ErrDeadlinePast  410
 //	"busy"          ErrClusterBusy   429
-//	"bad-request"   ErrBadConfig     400  (wire errors only, never a Decision)
-//	"cancelled"     context.Canceled 499  (wire errors only, never a Decision)
-//	"internal"      —                500  (wire errors only, never a Decision)
+//	"bad-request"      ErrBadConfig     400  (wire errors only, never a Decision)
+//	"cancelled"        context.Canceled 499  (wire errors only, never a Decision)
+//	"internal"         —                500  (wire errors only, never a Decision)
+//	"node-unavailable" ErrDisplaced     503  (displacement events only, never a Decision)
 //
 // Tokens are append-only: new classes may be added, existing tokens are
 // never renamed or reused.
@@ -129,13 +146,18 @@ const (
 	// ReasonInternal labels an unclassified server-side failure. Wire
 	// errors only, never a Decision.
 	ReasonInternal Reason = "internal"
+	// ReasonNodeUnavailable: an admitted-but-uncommitted task lost its
+	// seat because a node it was planned onto was drained or failed, and
+	// re-admission found no feasible replacement (sentinel ErrDisplaced).
+	// Carried by displacement events on the stream, never by a Decision.
+	ReasonNodeUnavailable Reason = "node-unavailable"
 )
 
 // Reasons lists every documented wire token, ReasonNone first.
 func Reasons() []Reason {
 	return []Reason{
 		ReasonNone, ReasonInfeasible, ReasonDeadlinePast, ReasonBusy,
-		ReasonBadRequest, ReasonCancelled, ReasonInternal,
+		ReasonBadRequest, ReasonCancelled, ReasonInternal, ReasonNodeUnavailable,
 	}
 }
 
@@ -163,6 +185,8 @@ func (r Reason) Err() error {
 		return ErrBadConfig
 	case ReasonCancelled:
 		return context.Canceled
+	case ReasonNodeUnavailable:
+		return ErrDisplaced
 	default:
 		return fmt.Errorf("rtdls: unclassified rejection reason %q", string(r))
 	}
@@ -205,6 +229,8 @@ func ReasonFor(err error) Reason {
 		return ReasonBusy
 	case CodeCancelled:
 		return ReasonCancelled
+	case CodeNodeUnavailable:
+		return ReasonNodeUnavailable
 	default:
 		return ReasonInternal
 	}

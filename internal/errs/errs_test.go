@@ -12,6 +12,7 @@ import (
 func TestSentinelsDistinct(t *testing.T) {
 	sentinels := []error{
 		errs.ErrInfeasible, errs.ErrDeadlinePast, errs.ErrClusterBusy, errs.ErrBadConfig,
+		errs.ErrDisplaced,
 	}
 	for i, a := range sentinels {
 		for j, b := range sentinels {
@@ -43,6 +44,8 @@ func TestCodeStable(t *testing.T) {
 		{errs.ErrInfeasible, errs.CodeInfeasible},
 		{errs.ErrClusterBusy, errs.CodeBusy},
 		{fmt.Errorf("pool: shard 2: %w", errs.ErrClusterBusy), errs.CodeBusy},
+		{errs.ErrDisplaced, errs.CodeNodeUnavailable},
+		{fmt.Errorf("fleet: node 3 failed: %w", errs.ErrDisplaced), errs.CodeNodeUnavailable},
 		{context.Canceled, errs.CodeCancelled},
 		{context.DeadlineExceeded, errs.CodeCancelled},
 		{errors.New("boom"), errs.CodeInternal},
@@ -55,7 +58,7 @@ func TestCodeStable(t *testing.T) {
 	// The numeric values are wire contract: renumbering is a breaking change.
 	if errs.CodeOK != 200 || errs.CodeBadRequest != 400 || errs.CodeDeadlinePast != 410 ||
 		errs.CodeInfeasible != 422 || errs.CodeBusy != 429 || errs.CodeCancelled != 499 ||
-		errs.CodeInternal != 500 {
+		errs.CodeInternal != 500 || errs.CodeNodeUnavailable != 503 {
 		t.Fatalf("wire status codes were renumbered")
 	}
 }
@@ -76,7 +79,8 @@ func TestReasonRoundTrip(t *testing.T) {
 	// The tokens themselves are wire contract.
 	if errs.ReasonInfeasible != "infeasible" || errs.ReasonDeadlinePast != "deadline-past" ||
 		errs.ReasonBusy != "busy" || errs.ReasonBadRequest != "bad-request" ||
-		errs.ReasonCancelled != "cancelled" || errs.ReasonInternal != "internal" {
+		errs.ReasonCancelled != "cancelled" || errs.ReasonInternal != "internal" ||
+		errs.ReasonNodeUnavailable != "node-unavailable" {
 		t.Fatalf("reason tokens were renamed")
 	}
 }
@@ -93,6 +97,9 @@ func TestReasonAsError(t *testing.T) {
 	if errors.Is(errs.ReasonBusy, errs.ErrInfeasible) {
 		t.Fatalf("ReasonBusy wrongly matches ErrInfeasible")
 	}
+	if !errors.Is(errs.ReasonNodeUnavailable, errs.ErrDisplaced) {
+		t.Fatalf("ReasonNodeUnavailable does not match ErrDisplaced")
+	}
 	if errors.Is(errs.ReasonNone, errs.ErrInfeasible) || !errs.ReasonNone.OK() {
 		t.Fatalf("ReasonNone must match nothing and report OK")
 	}
@@ -108,12 +115,14 @@ func TestReasonForInvertsCode(t *testing.T) {
 		fmt.Errorf("wrapped: %w", errs.ErrDeadlinePast),
 		errs.ErrInfeasible,
 		errs.ErrClusterBusy,
+		errs.ErrDisplaced,
 		context.Canceled,
 		errors.New("boom"),
 	}
 	wants := []errs.Reason{
 		errs.ReasonNone, errs.ReasonBadRequest, errs.ReasonDeadlinePast,
-		errs.ReasonInfeasible, errs.ReasonBusy, errs.ReasonCancelled, errs.ReasonInternal,
+		errs.ReasonInfeasible, errs.ReasonBusy, errs.ReasonNodeUnavailable,
+		errs.ReasonCancelled, errs.ReasonInternal,
 	}
 	for i, e := range errsIn {
 		r := errs.ReasonFor(e)

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"rtdls/internal/errs"
+	"rtdls/internal/fleet"
 )
 
 // Options configures one load run.
@@ -70,8 +71,26 @@ type Options struct {
 	// Timeout bounds one HTTP request (default 10 s).
 	Timeout time.Duration
 
+	// Churn, when non-empty, drives the server's fleet admin API during
+	// the run: each op is POSTed to /v1/nodes/{id}/{action} at its
+	// wall-second offset from the start. The traffic side keeps running
+	// regardless of individual op failures; the run waits for the schedule
+	// to finish (so a trailing restore always lands) before the post-run
+	// stats and metrics scrapes.
+	Churn fleet.Schedule
+
 	// Client overrides the HTTP client (tests).
 	Client *http.Client
+}
+
+// ChurnReport summarises the churn schedule the harness drove over the
+// fleet admin API — part of BENCH_wire.json for chaos runs.
+type ChurnReport struct {
+	Schedule   string `json:"schedule"`
+	Applied    int64  `json:"applied"`
+	Failed     int64  `json:"failed"`
+	Displaced  int64  `json:"displaced"`
+	Readmitted int64  `json:"readmitted"`
 }
 
 // RetryAfterReport summarises the Retry-After hints observed on busy
@@ -132,6 +151,10 @@ type Report struct {
 	// per-shard outcome counters, the queue-depth high-water mark and the
 	// event-drop count. Omitted when the server has no /metrics endpoint.
 	ServerMetrics *ServerMetrics `json:"server_metrics,omitempty"`
+
+	// Churn summarises the fleet churn schedule the run drove, when one
+	// was configured.
+	Churn *ChurnReport `json:"churn,omitempty"`
 }
 
 // AcceptRatio returns accepted / requests (0 with no requests).
@@ -248,6 +271,28 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	// deltas; a server without the endpoint just skips this section.
 	preScrape, preErr := ScrapeMetrics(ctx, client, opts.URL)
 
+	// The churn schedule runs concurrently with the traffic, POSTing each
+	// op to the fleet admin API at its wall offset. Individual op failures
+	// are tallied, not fatal — the traffic is the experiment.
+	var churnRep *ChurnReport
+	churnDone := make(chan struct{})
+	if len(opts.Churn) > 0 {
+		churnRep = &ChurnReport{Schedule: opts.Churn.String()}
+		go func() {
+			defer close(churnDone)
+			fleet.Run(ctx.Done(), opts.Churn, func(op fleet.Op) error {
+				if err := applyChurnOp(ctx, client, opts.URL, op, churnRep); err != nil {
+					churnRep.Failed++
+				} else {
+					churnRep.Applied++
+				}
+				return nil // keep driving the rest of the schedule
+			})
+		}()
+	} else {
+		close(churnDone)
+	}
+
 	start := time.Now()
 	switch opts.Mode {
 	case "closed":
@@ -359,6 +404,10 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	if elapsed > 0 {
 		rep.ThroughputPerSec = float64(rep.Requests) / elapsed
 	}
+	// Let a trailing restore land before the post-run scrapes, so the
+	// final stats and fleet gauges describe the recovered fleet.
+	<-churnDone
+	rep.Churn = churnRep
 	if stats, err := fetchStats(ctx, client, opts.URL); err == nil {
 		rep.ServerStats = stats
 	}
@@ -443,6 +492,35 @@ func observeRetryAfter(resp *http.Response, cnt *counters) {
 	v := float64(secs)
 	cnt.raMin.update(v, func(new, cur float64) bool { return new < cur })
 	cnt.raMax.update(v, func(new, cur float64) bool { return new > cur })
+}
+
+// applyChurnOp POSTs one churn op to the fleet admin API and folds the
+// reported displacement counts into the churn report.
+func applyChurnOp(ctx context.Context, client *http.Client, base string, op fleet.Op, rep *ChurnReport) error {
+	url := fmt.Sprintf("%s/v1/nodes/%d/%s", base, op.Node, op.Action)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("load: churn %q: status %d", op.String(), resp.StatusCode)
+	}
+	var res struct {
+		Displaced  int64 `json:"displaced"`
+		Readmitted int64 `json:"readmitted"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return err
+	}
+	rep.Displaced += res.Displaced
+	rep.Readmitted += res.Readmitted
+	return nil
 }
 
 // fetchStats grabs the server's /v1/stats snapshot verbatim.

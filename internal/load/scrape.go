@@ -330,13 +330,29 @@ type StageLatency struct {
 }
 
 // ShardCounters is one shard's admission outcomes over the load run.
+// Displacements counts tasks unseated by node churn on this shard;
+// FleetNodes is the shard's node count by lifecycle state at the end of
+// the run (a point-in-time gauge, not a delta).
 type ShardCounters struct {
-	Shard         string  `json:"shard"`
-	Submits       int64   `json:"submits"`
-	Accepts       int64   `json:"accepts"`
-	Rejects       int64   `json:"rejects"`
-	Commits       int64   `json:"commits"`
-	QueueDepthMax float64 `json:"queue_depth_max"`
+	Shard         string           `json:"shard"`
+	Submits       int64            `json:"submits"`
+	Accepts       int64            `json:"accepts"`
+	Rejects       int64            `json:"rejects"`
+	Commits       int64            `json:"commits"`
+	Displacements int64            `json:"displacements,omitempty"`
+	QueueDepthMax float64          `json:"queue_depth_max"`
+	FleetNodes    map[string]int64 `json:"fleet_nodes,omitempty"`
+}
+
+// ReadmissionLatency summarises the server's re-admission latency
+// histogram (rtdls_readmission_seconds) over the run: how long displaced
+// tasks spent between losing their seat and passing the schedulability
+// test again.
+type ReadmissionLatency struct {
+	Count  int64   `json:"count"`
+	P50Us  float64 `json:"p50_us"`
+	P99Us  float64 `json:"p99_us"`
+	MeanUs float64 `json:"mean_us"`
 }
 
 // ServerMetrics is the server-side view of one load run, computed as the
@@ -344,10 +360,12 @@ type ShardCounters struct {
 // between client-observed latency and what the admission pipeline itself
 // measured.
 type ServerMetrics struct {
-	Stages        []StageLatency  `json:"stages,omitempty"`
-	Shards        []ShardCounters `json:"shards,omitempty"`
-	QueueDepthMax float64         `json:"queue_depth_max"`
-	EventsDropped float64         `json:"events_dropped"`
+	Stages        []StageLatency      `json:"stages,omitempty"`
+	Shards        []ShardCounters     `json:"shards,omitempty"`
+	QueueDepthMax float64             `json:"queue_depth_max"`
+	EventsDropped float64             `json:"events_dropped"`
+	Displacements int64               `json:"displacements,omitempty"`
+	Readmission   *ReadmissionLatency `json:"readmission,omitempty"`
 }
 
 // MetricsDelta summarises the before→after difference of two scrapes.
@@ -374,18 +392,40 @@ func MetricsDelta(before, after *Scrape) *ServerMetrics {
 	for _, shard := range after.LabelValues("rtdls_submits_total", "shard") {
 		want := map[string]string{"shard": shard}
 		scs := ShardCounters{
-			Shard:   shard,
-			Submits: counterDelta("rtdls_submits_total", want),
-			Accepts: counterDelta("rtdls_accepts_total", want),
-			Rejects: counterDelta("rtdls_rejects_total", want),
-			Commits: counterDelta("rtdls_commits_total", want),
+			Shard:         shard,
+			Submits:       counterDelta("rtdls_submits_total", want),
+			Accepts:       counterDelta("rtdls_accepts_total", want),
+			Rejects:       counterDelta("rtdls_rejects_total", want),
+			Commits:       counterDelta("rtdls_commits_total", want),
+			Displacements: counterDelta("rtdls_displacements_total", want),
 		}
 		scs.QueueDepthMax, _ = after.Value("rtdls_queue_depth_max", want)
 		if scs.QueueDepthMax > sm.QueueDepthMax {
 			sm.QueueDepthMax = scs.QueueDepthMax
 		}
+		// Fleet-node gauges are a point-in-time snapshot, not a delta: the
+		// after scrape answers "what state is the fleet in now".
+		for _, st := range after.LabelValues("rtdls_fleet_nodes", "state") {
+			v, ok := after.Value("rtdls_fleet_nodes", map[string]string{"shard": shard, "state": st})
+			if !ok {
+				continue
+			}
+			if scs.FleetNodes == nil {
+				scs.FleetNodes = map[string]int64{}
+			}
+			scs.FleetNodes[st] = int64(v)
+		}
+		sm.Displacements += scs.Displacements
 		sm.Shards = append(sm.Shards, scs)
 	}
 	sm.EventsDropped = after.Sum("rtdls_events_dropped_total", nil) - before.Sum("rtdls_events_dropped_total", nil)
+	if d := histogramDelta(before, after, "rtdls_readmission_seconds", nil); d.count > 0 {
+		sm.Readmission = &ReadmissionLatency{
+			Count:  int64(d.count),
+			P50Us:  d.quantile(0.50) * 1e6,
+			P99Us:  d.quantile(0.99) * 1e6,
+			MeanUs: d.sum / d.count * 1e6,
+		}
+	}
 	return sm
 }

@@ -8,11 +8,14 @@ import (
 )
 
 // ShardLoad is the cheap point-in-time load signal the pool samples from
-// every shard before each placement decision.
+// every shard before each placement decision. Live is sampled on every
+// submit (the pool skips shards with no live nodes); QueueLen and Nodes
+// are sampled only for load-aware placements.
 type ShardLoad struct {
 	Shard    int // shard index
 	QueueLen int // admitted-but-uncommitted tasks on the shard
-	Nodes    int // shard cluster size (constant)
+	Nodes    int // shard cluster size (grows with AddNode)
+	Live     int // placeable (up, neither draining nor down) nodes
 }
 
 // Placement decides which shard(s) should be offered a task. It is the
@@ -81,10 +84,15 @@ func (LeastLoaded) Order(dst []int, _ uint64, loads []ShardLoad, _ *rt.Task) []i
 }
 
 // loadBefore reports whether shard a should be preferred over shard b:
-// shorter queue first, then more nodes, then lower index.
+// shorter queue first, then more live capacity, then more nodes, then
+// lower index. With a fully-up fleet Live == Nodes everywhere and the
+// order is exactly the pre-fleet (queue, nodes, index) one.
 func loadBefore(a, b ShardLoad) bool {
 	if a.QueueLen != b.QueueLen {
 		return a.QueueLen < b.QueueLen
+	}
+	if a.Live != b.Live {
+		return a.Live > b.Live
 	}
 	if a.Nodes != b.Nodes {
 		return a.Nodes > b.Nodes

@@ -23,8 +23,10 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rtdls/internal/cluster"
+	"rtdls/internal/dlt"
 	"rtdls/internal/errs"
 	"rtdls/internal/rt"
 	"rtdls/internal/service"
@@ -74,8 +76,8 @@ type Pool struct {
 	place  Placement
 	clock  service.Clock
 	bus    *service.Bus
-	nodes  []int // per-shard cluster sizes
-	total  int   // Σ nodes
+	met    *service.Metrics // nil when uninstrumented
+	total  atomic.Int64     // Σ shard cluster sizes (grows with AddNode)
 
 	needLoads bool // placement reads QueueLen (see LoadAware)
 
@@ -87,8 +89,18 @@ type Pool struct {
 	closed     atomic.Bool
 	draining   atomic.Bool // admission gate (SetAccepting(false))
 
+	// fleetMu serialises fleet operations and guards the global node-id
+	// registry. Submissions never touch it: node ids are append-only and
+	// the placement layer reads only the shards' lock-free mirrors.
+	fleetMu      sync.Mutex
+	nodeOf       []nodeRef    // global node id (shard-major, append-only) → location
+	readmissions atomic.Int64 // displaced tasks re-admitted on another shard
+
 	scratch sync.Pool // *placeScratch, reused across submissions
 }
+
+// nodeRef locates one global node id inside the pool.
+type nodeRef struct{ shard, local int }
 
 type placeScratch struct {
 	loads []ShardLoad
@@ -114,8 +126,8 @@ func New(cfg Config) (*Pool, error) {
 		place:  place,
 		clock:  clock,
 		bus:    service.NewBus(),
+		met:    cfg.Metrics,
 		shards: make([]*service.Service, 0, len(cfg.Shards)),
-		nodes:  make([]int, 0, len(cfg.Shards)),
 	}
 	for i, sc := range cfg.Shards {
 		sh, err := service.New(service.Config{
@@ -133,8 +145,10 @@ func New(cfg Config) (*Pool, error) {
 			return nil, fmt.Errorf("pool: shard %d: %w", i, err)
 		}
 		p.shards = append(p.shards, sh)
-		p.nodes = append(p.nodes, sc.Cluster.N())
-		p.total += sc.Cluster.N()
+		for local := 0; local < sc.Cluster.N(); local++ {
+			p.nodeOf = append(p.nodeOf, nodeRef{shard: i, local: local})
+		}
+		p.total.Add(int64(sc.Cluster.N()))
 	}
 	p.needLoads = true
 	if la, ok := place.(LoadAware); ok {
@@ -149,7 +163,7 @@ func New(cfg Config) (*Pool, error) {
 	p.scratch.New = func() any {
 		sc := &placeScratch{loads: make([]ShardLoad, k), order: make([]int, 0, k)}
 		for i := range sc.loads {
-			sc.loads[i] = ShardLoad{Shard: i, Nodes: p.nodes[i]}
+			sc.loads[i] = ShardLoad{Shard: i}
 		}
 		return sc
 	}
@@ -204,11 +218,14 @@ func (p *Pool) Submit(ctx context.Context, task rt.Task) (service.Decision, erro
 
 	sc := p.scratch.Get().(*placeScratch)
 	defer p.scratch.Put(sc)
-	if p.needLoads {
-		// Shard and Nodes are constant and prefilled when the scratch is
-		// created; only the queue lengths need a fresh sample.
-		for i, sh := range p.shards {
+	// Live is sampled on every submit (placements skip drained shards);
+	// queue lengths and node counts only for load-aware placements. All
+	// three are lock-free mirror reads.
+	for i, sh := range p.shards {
+		sc.loads[i].Live = sh.LiveNodes()
+		if p.needLoads {
 			sc.loads[i].QueueLen = sh.QueueLen()
+			sc.loads[i].Nodes = sh.Nodes()
 		}
 	}
 	order := p.place.Order(sc.order[:0], seq, sc.loads, &task)
@@ -218,33 +235,83 @@ func (p *Pool) Submit(ctx context.Context, task rt.Task) (service.Decision, erro
 	}
 
 	var last service.Decision
-	for attempt, idx := range order {
+	tried, done := 0, false
+	try := func(idx int) (service.Decision, bool, error) {
+		d, err := p.shards[idx].Submit(ctx, task)
+		if err != nil {
+			return d, false, err
+		}
+		tried++
+		if d.Accepted {
+			p.arrivals.Add(1)
+			p.accepts.Add(1)
+			if tried > 1 {
+				p.spillovers.Add(1)
+			}
+			return d, true, nil
+		}
+		last = d
+		// A past deadline on the shared clock dooms the task everywhere:
+		// spilling over is pointless.
+		done = errors.Is(d.Reason, errs.ErrDeadlinePast)
+		return d, false, nil
+	}
+	for _, idx := range order {
 		if idx < 0 || idx >= len(p.shards) {
 			return service.Decision{}, fmt.Errorf("pool: placement %s picked shard %d of %d: %w",
 				p.place.Name(), idx, len(p.shards), errs.ErrBadConfig)
 		}
-		d, err := p.shards[idx].Submit(ctx, task)
+		if sc.loads[idx].Live == 0 {
+			continue // the whole shard is drained or down
+		}
+		d, accepted, err := try(idx)
 		if err != nil {
 			return d, err
 		}
-		if d.Accepted {
-			p.arrivals.Add(1)
-			p.accepts.Add(1)
-			if attempt > 0 {
-				p.spillovers.Add(1)
-			}
+		if accepted {
 			return d, nil
 		}
-		last = d
-		if errors.Is(d.Reason, errs.ErrDeadlinePast) {
-			// The deadline has passed on the shared clock: no shard can
-			// take it, so spilling over is pointless.
+		if done {
 			break
 		}
+	}
+	if tried == 0 && !done {
+		// Every shard the placement picked is drained: fall through to the
+		// remaining live shards in index order rather than losing the task
+		// to a dead pick (single-choice placements under churn).
+		for idx := range p.shards {
+			if sc.loads[idx].Live == 0 || sliceContains(order, idx) {
+				continue
+			}
+			d, accepted, err := try(idx)
+			if err != nil {
+				return d, err
+			}
+			if accepted {
+				return d, nil
+			}
+			if done {
+				break
+			}
+		}
+	}
+	if tried == 0 {
+		return service.Decision{}, fmt.Errorf("pool: no live shard available: %w", errs.ErrClusterBusy)
 	}
 	p.arrivals.Add(1)
 	p.rejects.Add(1)
 	return last, nil
+}
+
+// sliceContains reports whether order already lists idx (K is small; a
+// linear scan keeps the hot path allocation-free).
+func sliceContains(order []int, idx int) bool {
+	for _, o := range order {
+		if o == idx {
+			return true
+		}
+	}
+	return false
 }
 
 // SubmitBatch submits several tasks in order, returning one decision per
@@ -312,12 +379,18 @@ func (p *Pool) Stats() service.Stats {
 		agg.MaxQueueLen += st.MaxQueueLen
 		agg.BusyTime += st.BusyTime
 		agg.ReservedIdle += st.ReservedIdle
+		agg.NodesUp += st.NodesUp
+		agg.NodesDraining += st.NodesDraining
+		agg.NodesDown += st.NodesDown
+		agg.Displaced += st.Displaced
+		agg.LateCommits += st.LateCommits
 		if st.LastRelease > agg.LastRelease {
 			agg.LastRelease = st.LastRelease
 		}
 	}
+	agg.Readmitted = int(p.readmissions.Load())
 	if span := math.Max(now, agg.LastRelease); span > 0 {
-		agg.Utilization = agg.BusyTime / (float64(p.total) * span)
+		agg.Utilization = agg.BusyTime / (float64(p.total.Load()) * span)
 	}
 	agg.EventsDropped = p.bus.DroppedTotal()
 	return agg
@@ -388,6 +461,126 @@ func (p *Pool) Drain() error {
 	}
 	return nil
 }
+
+// DrainNode stops placing new work on the node (committed work runs to
+// completion); waiting plans on its shard are re-validated and displaced
+// tasks are re-admitted on the remaining live shards through the normal
+// schedulability test. The node id is pool-global (shard-major).
+func (p *Pool) DrainNode(node int) (service.FleetResult, error) {
+	return p.fleetOp(node, service.NodeDraining)
+}
+
+// FailNode removes the node's capacity immediately; displacement and
+// re-admission work exactly as for DrainNode.
+func (p *Pool) FailNode(node int) (service.FleetResult, error) {
+	return p.fleetOp(node, service.NodeDown)
+}
+
+// RestoreNode returns a drained or failed node to service; nothing is
+// displaced.
+func (p *Pool) RestoreNode(node int) (service.FleetResult, error) {
+	return p.fleetOp(node, service.NodeUp)
+}
+
+func (p *Pool) fleetOp(node int, st service.NodeState) (service.FleetResult, error) {
+	p.fleetMu.Lock()
+	defer p.fleetMu.Unlock()
+	if p.closed.Load() {
+		return service.FleetResult{}, fmt.Errorf("pool: closed: %w", errs.ErrClusterBusy)
+	}
+	if node < 0 || node >= len(p.nodeOf) {
+		return service.FleetResult{}, fmt.Errorf("pool: node id %d out of range [0,%d): %w",
+			node, len(p.nodeOf), errs.ErrBadConfig)
+	}
+	ref := p.nodeOf[node]
+	disp, err := p.shards[ref.shard].SetNodeState(ref.local, st)
+	if err != nil {
+		return service.FleetResult{}, err
+	}
+	res := service.FleetResult{Node: node, State: st, StateToken: st.String(), Displaced: len(disp)}
+	for _, t := range disp {
+		if p.readmit(t, ref.shard) {
+			res.Readmitted++
+		}
+	}
+	return res, nil
+}
+
+// readmit offers a displaced task to every other live shard, in index
+// order, through the normal Submit path (so its accept, or eventual
+// commit, is counted exactly like any other admission at the shard that
+// takes it). The originating shard is skipped: the whole-queue test there
+// just proved the task no longer fits.
+func (p *Pool) readmit(t rt.Task, origin int) bool {
+	var start time.Time
+	if p.met != nil {
+		start = time.Now()
+	}
+	for i, sh := range p.shards {
+		if i == origin || sh.LiveNodes() == 0 {
+			continue
+		}
+		d, err := sh.Submit(context.Background(), t)
+		if err != nil {
+			continue // shard closed underneath us; try the next
+		}
+		if d.Accepted {
+			p.readmissions.Add(1)
+			if p.met != nil {
+				p.met.Readmission().Observe(time.Since(start).Seconds())
+			}
+			return true
+		}
+		if errors.Is(d.Reason, errs.ErrDeadlinePast) {
+			return false
+		}
+	}
+	return false
+}
+
+// AddNode grows the shard with the fewest live nodes (ties toward the
+// lowest index) by one node with the given cost coefficients and returns
+// its pool-global id. Ids are append-only: existing ids never shift.
+func (p *Pool) AddNode(nc dlt.NodeCost) (int, error) {
+	p.fleetMu.Lock()
+	defer p.fleetMu.Unlock()
+	if p.closed.Load() {
+		return 0, fmt.Errorf("pool: closed: %w", errs.ErrClusterBusy)
+	}
+	best := 0
+	for i := 1; i < len(p.shards); i++ {
+		if p.shards[i].LiveNodes() < p.shards[best].LiveNodes() {
+			best = i
+		}
+	}
+	local, err := p.shards[best].AddNode(nc)
+	if err != nil {
+		return 0, err
+	}
+	p.nodeOf = append(p.nodeOf, nodeRef{shard: best, local: local})
+	p.total.Add(1)
+	return len(p.nodeOf) - 1, nil
+}
+
+// NodeStates returns every node's lifecycle state indexed by pool-global
+// node id.
+func (p *Pool) NodeStates() []service.NodeState {
+	p.fleetMu.Lock()
+	defer p.fleetMu.Unlock()
+	per := make([][]service.NodeState, len(p.shards))
+	for i, sh := range p.shards {
+		per[i] = sh.NodeStates()
+	}
+	out := make([]service.NodeState, len(p.nodeOf))
+	for g, ref := range p.nodeOf {
+		out[g] = per[ref.shard][ref.local]
+	}
+	return out
+}
+
+// Readmissions returns how many displaced tasks were re-admitted on
+// another shard.
+func (p *Pool) Readmissions() int { return int(p.readmissions.Load()) }
 
 // Close marks the pool closed — subsequent submissions fail with
 // ErrClusterBusy — closes every shard and then the shared event bus.

@@ -2,11 +2,14 @@ package pool_test
 
 import (
 	"context"
+	"strconv"
+	"strings"
 	"sync"
 	"testing"
 
 	"rtdls/internal/cluster"
 	"rtdls/internal/dlt"
+	"rtdls/internal/metrics"
 	"rtdls/internal/pool"
 	"rtdls/internal/rt"
 	"rtdls/internal/service"
@@ -143,5 +146,148 @@ func TestPoolConcurrentSubmitRace(t *testing.T) {
 	}
 	if st.Utilization < 0 || st.Utilization > 1 {
 		t.Fatalf("utilization = %v", st.Utilization)
+	}
+}
+
+// TestPoolConcurrentFleetOpsRace runs fleet churn concurrently with the
+// submit storm: goroutines drain, fail and restore nodes while workers
+// submit through spillover placement. At quiescence every shard must
+// reconcile accepts == commits + displacements, the pool-level identity
+// must account for readmissions, and the fleet gauges must partition the
+// full node count.
+func TestPoolConcurrentFleetOpsRace(t *testing.T) {
+	const (
+		k       = 4
+		n       = 8
+		workers = 8
+		each    = 100
+	)
+	params := dlt.Params{Cms: 1, Cps: 100}
+	shards := make([]pool.ShardConfig, k)
+	for i := range shards {
+		cl, err := cluster.New(n, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards[i] = pool.ShardConfig{Cluster: cl, Policy: rt.EDF, Partitioner: rt.IITDLT{}}
+	}
+	reg := metrics.NewRegistry()
+	p, err := pool.New(pool.Config{
+		Shards:    shards,
+		Placement: pool.Spillover{Inner: pool.LeastLoaded{}},
+		Metrics:   service.NewMetrics(reg),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	ctx := context.Background()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				id := int64(w*each + i + 1)
+				if _, err := p.Submit(ctx, rt.Task{
+					ID:          id,
+					Sigma:       20 + float64((id*37)%400),
+					RelDeadline: 4000 + float64((id*91)%20000),
+				}); err != nil {
+					t.Errorf("worker %d task %d: %v", w, id, err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Churn goroutines: each cycles a disjoint set of nodes through
+	// fail → restore and drain → restore while the submitters run.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				node := g*2*n/4 + rep%(2*n/4) + (g%2)*k*n/2
+				node %= k * n
+				if rep%2 == 0 {
+					if _, err := p.FailNode(node); err != nil {
+						t.Errorf("fail %d: %v", node, err)
+					}
+				} else {
+					if _, err := p.DrainNode(node); err != nil {
+						t.Errorf("drain %d: %v", node, err)
+					}
+				}
+				if _, err := p.RestoreNode(node); err != nil {
+					t.Errorf("restore %d: %v", node, err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Leave every node up so the drain below has full capacity.
+	for node := 0; node < k*n; node++ {
+		if _, err := p.RestoreNode(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+
+	if st.Arrivals != workers*each {
+		t.Fatalf("arrivals = %d, want %d", st.Arrivals, workers*each)
+	}
+	if st.QueueLen != 0 {
+		t.Fatalf("drain incomplete: %+v", st)
+	}
+	if st.Accepts != st.Commits+st.Displaced-st.Readmitted {
+		t.Fatalf("pool identity broken: accepts %d != commits %d + displaced %d - readmitted %d",
+			st.Accepts, st.Commits, st.Displaced, st.Readmitted)
+	}
+	if st.LateCommits != 0 {
+		t.Fatalf("%d late commits under churn", st.LateCommits)
+	}
+	for i, ss := range p.ShardStats() {
+		if ss.Accepts != ss.Commits+ss.Displaced {
+			t.Fatalf("shard %d identity broken: accepts %d != commits %d + displaced %d",
+				i, ss.Accepts, ss.Commits, ss.Displaced)
+		}
+	}
+	if st.NodesUp != k*n || st.NodesDraining != 0 || st.NodesDown != 0 {
+		t.Fatalf("fleet not fully restored: %+v", st)
+	}
+
+	// The rendered gauges must agree: per shard, the fleet_nodes states
+	// partition n; pool-wide the displacement counters sum to the stats.
+	var buf strings.Builder
+	if _, err := reg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var gaugeSum, dispSum float64
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "rtdls_fleet_nodes{") {
+			f := strings.Fields(line)
+			v, err := strconv.ParseFloat(f[len(f)-1], 64)
+			if err != nil {
+				t.Fatalf("bad gauge line %q", line)
+			}
+			gaugeSum += v
+		}
+		if strings.HasPrefix(line, "rtdls_displacements_total{") {
+			f := strings.Fields(line)
+			v, err := strconv.ParseFloat(f[len(f)-1], 64)
+			if err != nil {
+				t.Fatalf("bad counter line %q", line)
+			}
+			dispSum += v
+		}
+	}
+	if int(gaugeSum) != k*n {
+		t.Fatalf("fleet gauges sum to %v, want %d", gaugeSum, k*n)
+	}
+	if int(dispSum) != st.Displaced {
+		t.Fatalf("displacement counters sum to %v, stats say %d", dispSum, st.Displaced)
 	}
 }

@@ -20,11 +20,18 @@ import (
 // re-sorting all N nodes after every tentative assignment.
 type AvailView struct {
 	times []float64 // per node id
-	order []int     // node ids sorted by (times, id)
+	order []int     // node ids sorted by (eligible, times, id)
 	srt   []float64 // times in sorted order, parallel to order
 	dirty []int     // node ids re-timed since the last sort
 	mark  []bool    // per node id: whether it is queued in dirty
 	full  bool      // a full re-sort is required (fresh snapshot)
+
+	// elig optionally masks nodes out of placement (drained or failed
+	// fleet members): ineligible nodes sort after every eligible one and
+	// Earliest never returns them. nil means every node is eligible — the
+	// fixed-fleet path pays a nil check and nothing else.
+	elig     []bool
+	eligible int // count of eligible nodes (== len(times) when elig is nil)
 }
 
 // NewAvailView wraps the given per-node release times. The slice is owned
@@ -52,15 +59,48 @@ func (v *AvailView) Reset(times []float64) {
 	}
 	v.dirty = v.dirty[:0]
 	v.full = true
+	v.elig = nil
+	v.eligible = n
+}
+
+// SetEligible masks nodes out of placement: node id is placeable iff
+// elig[id]. The slice is referenced, not copied — the caller keeps it
+// alive and unmodified until the next Reset, which clears the mask (every
+// node eligible again). A nil or all-true mask reproduces the unmasked
+// ordering bit for bit.
+func (v *AvailView) SetEligible(elig []bool) {
+	if elig != nil && len(elig) != len(v.times) {
+		panic(fmt.Sprintf("rt: AvailView.SetEligible: %d mask entries, %d nodes", len(elig), len(v.times)))
+	}
+	v.elig = elig
+	v.eligible = len(v.times)
+	if elig != nil {
+		v.eligible = 0
+		for _, e := range elig {
+			if e {
+				v.eligible++
+			}
+		}
+	}
+	v.full = true
 }
 
 // N returns the number of nodes.
 func (v *AvailView) N() int { return len(v.times) }
 
+// Eligible returns the number of placeable nodes — callers size Earliest's
+// k against it, not against N, when a mask is installed.
+func (v *AvailView) Eligible() int { return v.eligible }
+
 // before reports whether node a (at time ta) sorts before node b (at tb)
-// under the view's total order (time, id) — the single comparison both the
-// full sort and the incremental repair use, so they agree bit for bit.
-func before(ta float64, a int, tb float64, b int) bool {
+// under the view's total order (eligible, time, id) — the single comparison
+// both the full sort and the incremental repair use, so they agree bit for
+// bit. Without a mask (or with every node eligible) it is exactly the old
+// (time, id) order.
+func (v *AvailView) before(ta float64, a int, tb float64, b int) bool {
+	if v.elig != nil && v.elig[a] != v.elig[b] {
+		return v.elig[a]
+	}
 	if ta != tb {
 		return ta < tb
 	}
@@ -79,7 +119,7 @@ func (v *AvailView) ensureSorted() {
 			v.order[i] = i
 		}
 		slices.SortFunc(v.order, func(a, b int) int {
-			if before(v.times[a], a, v.times[b], b) {
+			if v.before(v.times[a], a, v.times[b], b) {
 				return -1
 			}
 			return 1
@@ -114,7 +154,7 @@ func (v *AvailView) ensureSorted() {
 		lo, hi := 0, w
 		for lo < hi {
 			m := int(uint(lo+hi) >> 1)
-			if before(v.srt[m], v.order[m], t, id) {
+			if v.before(v.srt[m], v.order[m], t, id) {
 				lo = m + 1
 			} else {
 				hi = m
@@ -131,12 +171,13 @@ func (v *AvailView) ensureSorted() {
 }
 
 // Earliest returns the ids and release times of the k earliest-available
-// nodes, ordered by (release time, id). The returned slices alias internal
-// storage: they are valid until the next Apply call and must not be
-// modified. It panics if k is out of range — callers size k against N().
+// eligible nodes, ordered by (release time, id). The returned slices alias
+// internal storage: they are valid until the next Apply call and must not
+// be modified. It panics if k is out of range — callers size k against
+// Eligible() (== N() without a mask).
 func (v *AvailView) Earliest(k int) (ids []int, times []float64) {
-	if k < 1 || k > len(v.times) {
-		panic(fmt.Sprintf("rt: AvailView.Earliest(%d) with %d nodes", k, len(v.times)))
+	if k < 1 || k > v.eligible {
+		panic(fmt.Sprintf("rt: AvailView.Earliest(%d) with %d eligible of %d nodes", k, v.eligible, len(v.times)))
 	}
 	v.ensureSorted()
 	return v.order[:k], v.srt[:k]

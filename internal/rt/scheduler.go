@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"rtdls/internal/cluster"
+	"rtdls/internal/dlt"
 	"rtdls/internal/errs"
 )
 
@@ -49,6 +50,7 @@ type Scheduler struct {
 	spare    map[int64]*Plan
 	view     *AvailView
 	availBuf []float64
+	eligBuf  []bool
 	pctx     PlanContext
 
 	// Admission counters live on atomics so Stats() — and every observer
@@ -159,14 +161,14 @@ func (s *Scheduler) Submit(t *Task, now float64) (accepted bool, err error) {
 	}
 	s.scratch = cand
 
-	s.availBuf = s.cl.AvailInto(s.availBuf)
-	if s.view == nil {
-		s.view = NewAvailView(s.availBuf)
-	} else {
-		s.view.Reset(s.availBuf)
+	view, live := s.resetViewLocked()
+	if live == 0 {
+		// The whole fleet is drained or down: nothing is placeable.
+		s.reject(now, t)
+		clear(cand)
+		return false, nil
 	}
-	view := s.view
-	s.pctx = PlanContext{P: s.cl.Params(), N: s.cl.N(), Now: now, View: view, Costs: s.cl.Costs()}
+	s.pctx = PlanContext{P: s.cl.Params(), N: live, Now: now, View: view, Costs: s.cl.Costs()}
 	if stageObs != nil {
 		// Candidate selection ends once the availability view is set up;
 		// everything after splits into planning (the partitioner calls) and
@@ -234,6 +236,111 @@ func (s *Scheduler) Submit(t *Task, now float64) (accepted bool, err error) {
 		s.obs.OnAccept(now, t, newPlans[t.ID])
 	}
 	return true, nil
+}
+
+// resetViewLocked re-points the availability view at a fresh snapshot of
+// the cluster's release times, installs the placement-eligibility mask
+// when any node is drained or down, and returns the view together with the
+// live (placeable) node count. A fully-up fleet takes exactly the pre-fleet
+// path: no mask, live == N.
+func (s *Scheduler) resetViewLocked() (view *AvailView, live int) {
+	s.availBuf = s.cl.AvailInto(s.availBuf)
+	if s.view == nil {
+		s.view = NewAvailView(s.availBuf)
+	} else {
+		s.view.Reset(s.availBuf)
+	}
+	live = s.cl.LiveNodes()
+	if live < s.cl.N() {
+		s.eligBuf = s.cl.EligibleInto(s.eligBuf)
+		s.view.SetEligible(s.eligBuf)
+	}
+	return s.view, live
+}
+
+// SetNodeState transitions one cluster node and, on a capacity loss
+// (draining or down), re-runs the schedulability test over the whole
+// waiting queue: tasks whose plans no longer fit the remaining live nodes
+// are removed and returned as displaced — their original accept stands in
+// the counters, but they will never commit here. Restoring a node never
+// displaces anything (capacity only grows); waiting plans are left as
+// planned and re-optimised naturally on the next arrival.
+func (s *Scheduler) SetNodeState(id int, st cluster.NodeState, now float64) (displaced []*Task, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.cl.SetNodeState(id, st); err != nil {
+		// Bad node id / state is a caller mistake, not an engine fault: tag
+		// it so the wire layer maps it to 400 rather than 500.
+		return nil, fmt.Errorf("%v: %w", err, errs.ErrBadConfig)
+	}
+	if st == cluster.NodeUp {
+		return nil, nil
+	}
+	return s.revalidateLocked(now)
+}
+
+// AddNode grows the cluster by one node with the given cost coefficients,
+// available from availFrom, and returns its id. Waiting plans are
+// untouched — the new capacity is picked up by the next admission test.
+func (s *Scheduler) AddNode(nc dlt.NodeCost, availFrom float64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cl.AddNode(nc, availFrom)
+}
+
+// Revalidate re-runs the schedulability test for every waiting task
+// against the current fleet, in policy order, and removes (returning) the
+// tasks that no longer fit. It is the capacity-loss analogue of Submit's
+// whole-queue test: kept tasks get fresh plans stacked on the live nodes,
+// displaced tasks keep their accept counted but will never commit.
+func (s *Scheduler) Revalidate(now float64) (displaced []*Task, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.revalidateLocked(now)
+}
+
+func (s *Scheduler) revalidateLocked(now float64) (displaced []*Task, err error) {
+	if len(s.waiting) == 0 {
+		return nil, nil
+	}
+	view, live := s.resetViewLocked()
+	s.pctx = PlanContext{P: s.cl.Params(), N: live, Now: now, View: view, Costs: s.cl.Costs()}
+	keep := s.scratch[:0]
+	newPlans := s.spare
+	for _, w := range s.waiting {
+		if live == 0 {
+			displaced = append(displaced, w)
+			continue
+		}
+		pl, perr := s.part.Plan(&s.pctx, w)
+		if perr != nil {
+			if errors.Is(perr, ErrInfeasible) {
+				displaced = append(displaced, w)
+				continue
+			}
+			clear(newPlans)
+			clear(keep)
+			return nil, perr
+		}
+		absD := w.AbsDeadline()
+		if pl.Est > absD+deadlineEps(absD) {
+			displaced = append(displaced, w)
+			continue
+		}
+		view.Apply(pl.Nodes, pl.Release)
+		newPlans[w.ID] = pl
+		keep = append(keep, w)
+	}
+	old := s.waiting
+	s.waiting = keep
+	clear(old)
+	s.scratch = old
+	oldPlans := s.plans
+	s.plans = newPlans
+	clear(oldPlans)
+	s.spare = oldPlans
+	s.queueLen.Store(int64(len(s.waiting)))
+	return displaced, nil
 }
 
 // storeMax raises the atomic to v if v exceeds the current value.

@@ -16,6 +16,14 @@
 //	                       closes (SetAccepting(false) or Drain)
 //	GET  /metrics          Prometheus text exposition (when a metrics
 //	                       registry is configured)
+//	POST /v1/nodes/{id}/{action}
+//	                       fleet admin: action is "drain", "fail" or
+//	                       "restore"; {id} is the engine-wide node id
+//	                       (shard-major on a pool). Returns the fleet
+//	                       result — node, new state, tasks displaced and
+//	                       re-admitted — with 200; an unknown node or
+//	                       action is 400. Current per-node states appear
+//	                       in /v1/stats as "node_states".
 //
 // Response status codes are exactly the stable wire codes of
 // internal/errs: an accepted submission is 200; a clean rejection carries
@@ -47,6 +55,7 @@ import (
 	"time"
 
 	"rtdls/internal/errs"
+	"rtdls/internal/fleet"
 	"rtdls/internal/metrics"
 	"rtdls/internal/rt"
 	"rtdls/internal/service"
@@ -66,6 +75,10 @@ type Engine interface {
 	Drain() error
 	Close() error
 	Clock() service.Clock
+	DrainNode(node int) (service.FleetResult, error)
+	FailNode(node int) (service.FleetResult, error)
+	RestoreNode(node int) (service.FleetResult, error)
+	NodeStates() []service.NodeState
 }
 
 // Config assembles a Server. Engine is mandatory.
@@ -181,6 +194,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/events", s.handleEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/nodes/{id}/{action}", s.handleNodeOp)
 	if s.reg != nil {
 		mux.Handle("GET /metrics", s.reg)
 	}
@@ -344,7 +358,37 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.NextCommit = &at
 	}
 	resp.Subscribers = s.subscriberStats()
+	states := s.eng.NodeStates()
+	resp.NodeStates = make([]string, len(states))
+	for i, st := range states {
+		resp.NodeStates[i] = st.String()
+	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleNodeOp serves the fleet admin surface: POST /v1/nodes/{id}/{action}
+// with action drain, fail or restore. The operation is applied through the
+// engine (on a pool the node id is shard-major and displaced tasks are
+// re-admitted on other shards); the response is the fleet result. Bad ids
+// and unknown actions map to 400 via errs.ErrBadConfig.
+func (s *Server) handleNodeOp(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, fmt.Errorf("server: bad node id %q: %w", r.PathValue("id"), errs.ErrBadConfig))
+		return
+	}
+	action, err := fleet.ParseAction(r.PathValue("action"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	res, err := fleet.Apply(s.eng, fleet.Op{Action: action, Node: id})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.sayf("fleet: node %d -> %s (displaced=%d readmitted=%d)", res.Node, res.StateToken, res.Displaced, res.Readmitted)
+	s.writeJSON(w, http.StatusOK, res)
 }
 
 // handleHealthz is the liveness + readiness probe. Readiness follows the

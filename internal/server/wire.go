@@ -115,6 +115,11 @@ type StatsResponse struct {
 	// Subscribers lists every active event-stream subscriber with its own
 	// dropped-event count (Stats.EventsDropped is the bus-wide total).
 	Subscribers []SubscriberStats `json:"subscribers,omitempty"`
+
+	// NodeStates lists every node's lifecycle state token ("up",
+	// "draining", "down"), indexed by the engine-wide node id (shard-major
+	// on a pool) — the target surface of POST /v1/nodes/{id}/{action}.
+	NodeStates []string `json:"node_states,omitempty"`
 }
 
 // SubscriberStats is one active SSE subscriber's view in /v1/stats.

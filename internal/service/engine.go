@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 
+	"rtdls/internal/dlt"
 	"rtdls/internal/rt"
 )
 
@@ -45,6 +46,22 @@ type Engine interface {
 	Drain() error
 	// Clock returns the engine's clock.
 	Clock() Clock
+	// DrainNode stops placing new work on the node (committed work runs to
+	// completion), re-validating every waiting plan; tasks that no longer
+	// fit are displaced and, on a pool, re-admitted elsewhere.
+	DrainNode(node int) (FleetResult, error)
+	// FailNode removes the node's capacity immediately; waiting plans are
+	// re-validated exactly as for DrainNode.
+	FailNode(node int) (FleetResult, error)
+	// RestoreNode returns a drained or failed node to service; nothing is
+	// displaced (capacity only grows).
+	RestoreNode(node int) (FleetResult, error)
+	// AddNode grows the fleet by one node with the given cost coefficients
+	// and returns its engine-wide node id.
+	AddNode(nc dlt.NodeCost) (int, error)
+	// NodeStates returns every node's lifecycle state, indexed by the
+	// engine-wide node id (shard-major for a pool).
+	NodeStates() []NodeState
 	// Close marks the engine closed and tears down the event stream.
 	Close() error
 }

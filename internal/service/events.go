@@ -22,6 +22,13 @@ const (
 	// EventCommit: the task's first data transmission began; its plan is
 	// final and its nodes are occupied.
 	EventCommit
+	// EventDisplace: an admitted-but-uncommitted task lost its seat
+	// because fleet capacity changed (a node drained or failed) and the
+	// re-run schedulability test found no replacement on this shard. The
+	// event's Reason is ReasonNodeUnavailable. A pool re-admits displaced
+	// tasks on its remaining shards; a fresh EventAccept on another shard
+	// follows when that succeeds.
+	EventDisplace
 )
 
 // String returns the event kind's name.
@@ -33,6 +40,8 @@ func (k EventKind) String() string {
 		return "reject"
 	case EventCommit:
 		return "commit"
+	case EventDisplace:
+		return "displace"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}

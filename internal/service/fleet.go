@@ -1,0 +1,150 @@
+package service
+
+import (
+	"fmt"
+
+	"rtdls/internal/cluster"
+	"rtdls/internal/dlt"
+	"rtdls/internal/errs"
+	"rtdls/internal/rt"
+)
+
+// NodeState re-exports the cluster lifecycle states so Engine consumers
+// (the wire server, the pool) never import the cluster package directly.
+type NodeState = cluster.NodeState
+
+// Node lifecycle states.
+const (
+	NodeUp       = cluster.NodeUp
+	NodeDraining = cluster.NodeDraining
+	NodeDown     = cluster.NodeDown
+)
+
+// FleetResult reports the outcome of one fleet operation. Displaced counts
+// the admitted-but-uncommitted tasks that lost their seat; Readmitted the
+// displaced tasks re-seated on another shard through the normal
+// schedulability test (always 0 for a standalone service, which has
+// nowhere else to put them — replanning the same queue on the same shard
+// cannot revive a task the whole-queue test just dropped).
+type FleetResult struct {
+	Node       int       `json:"node"`
+	State      NodeState `json:"-"`
+	StateToken string    `json:"state"`
+	Displaced  int       `json:"displaced"`
+	Readmitted int       `json:"readmitted"`
+}
+
+// DrainNode stops placing new work on the node; committed work runs to
+// completion. Waiting plans touching the node are replanned onto the live
+// fleet, and tasks that no longer fit are displaced (EventDisplace with
+// ReasonNodeUnavailable on the stream).
+func (s *Service) DrainNode(node int) (FleetResult, error) {
+	return s.setNodeState(node, NodeDraining)
+}
+
+// FailNode removes the node's capacity immediately. Like DrainNode for
+// waiting plans; the model keeps committed transmissions on their
+// timeline (interrupted work is not re-simulated), so FailNode differs
+// from DrainNode only in the reported state until RestoreNode.
+func (s *Service) FailNode(node int) (FleetResult, error) {
+	return s.setNodeState(node, NodeDown)
+}
+
+// RestoreNode returns a drained or failed node to service. The node's
+// release time was never touched, so a fail-then-restore cycle with no
+// interim admissions leaves the scheduler bit-identical to one that never
+// failed. Nothing is displaced; waiting plans pick the node up on the
+// next admission test.
+func (s *Service) RestoreNode(node int) (FleetResult, error) {
+	return s.setNodeState(node, NodeUp)
+}
+
+// SetNodeState transitions one node and re-validates the waiting queue on
+// capacity loss; the displaced tasks are returned so a pool can try to
+// re-admit them elsewhere. Direct callers normally use the
+// DrainNode/FailNode/RestoreNode wrappers.
+func (s *Service) SetNodeState(node int, st NodeState) ([]rt.Task, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return nil, fmt.Errorf("service: closed: %w", errs.ErrClusterBusy)
+	}
+	now := s.clock.Now()
+	// Commit everything already due first: a transmission that should have
+	// started by now is committed work, not displaceable.
+	if err := s.commitDueLocked(now); err != nil {
+		return nil, err
+	}
+	disp, err := s.sched.SetNodeState(node, st, now)
+	if err != nil {
+		return nil, err
+	}
+	s.refreshFleetLocked()
+	var out []rt.Task
+	for _, t := range disp {
+		s.displaced.Add(1)
+		if s.inst != nil {
+			s.inst.displacements.Inc()
+		}
+		s.publishLocked(Event{Kind: EventDisplace, Time: now, Task: *t, Reason: errs.ReasonNodeUnavailable})
+		out = append(out, *t)
+	}
+	if s.inst != nil {
+		s.noteQueueLocked()
+	}
+	return out, nil
+}
+
+func (s *Service) setNodeState(node int, st NodeState) (FleetResult, error) {
+	disp, err := s.SetNodeState(node, st)
+	if err != nil {
+		return FleetResult{}, err
+	}
+	return FleetResult{Node: node, State: st, StateToken: st.String(), Displaced: len(disp)}, nil
+}
+
+// AddNode grows the cluster by one node with the given cost coefficients,
+// available from the current clock reading, and returns its id. Existing
+// ids and release times are untouched.
+func (s *Service) AddNode(nc dlt.NodeCost) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return 0, fmt.Errorf("service: closed: %w", errs.ErrClusterBusy)
+	}
+	id, err := s.sched.AddNode(nc, s.clock.Now())
+	if err != nil {
+		return 0, err
+	}
+	s.nodesTotal.Store(int64(s.cl.N()))
+	s.refreshFleetLocked()
+	return id, nil
+}
+
+// NodeStates returns every node's lifecycle state, indexed by node id.
+func (s *Service) NodeStates() []NodeState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cl.NodeStateList()
+}
+
+// LiveNodes returns the number of placeable (NodeUp) nodes — lock-free,
+// sampled by the pool's placement layer on every submit.
+func (s *Service) LiveNodes() int { return int(s.nodesUp.Load()) }
+
+// Nodes returns the current cluster size (it grows with AddNode) without
+// touching the admission lock.
+func (s *Service) Nodes() int { return int(s.nodesTotal.Load()) }
+
+// refreshFleetLocked re-derives the lock-free fleet mirrors and gauges
+// from the cluster's node states. Callers hold s.mu (or, during New, have
+// exclusive access).
+func (s *Service) refreshFleetLocked() {
+	up, draining, down := s.cl.StateCounts()
+	s.nodesUp.Store(int64(up))
+	s.nodesDraining.Store(int64(draining))
+	s.nodesDown.Store(int64(down))
+	if s.inst != nil {
+		s.inst.setFleet(up, draining, down)
+	}
+}

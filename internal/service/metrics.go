@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"sync"
 
+	"rtdls/internal/cluster"
 	"rtdls/internal/errs"
 	"rtdls/internal/metrics"
 	"rtdls/internal/rt"
@@ -26,6 +27,9 @@ type Metrics struct {
 	shards map[int]*shardInstruments
 
 	busOnce sync.Once
+
+	readmitOnce sync.Once
+	readmitHist *metrics.Histogram
 }
 
 // shardInstruments is one shard's counter/gauge set. The invariant the
@@ -42,6 +46,9 @@ type shardInstruments struct {
 	queueDepthMax *metrics.Gauge
 	utilization   *metrics.Gauge
 	busyTime      *metrics.Gauge
+
+	displacements *metrics.Counter
+	fleetNodes    map[cluster.NodeState]*metrics.Gauge
 }
 
 // NewMetrics returns a Metrics bound to the registry, with the per-stage
@@ -106,8 +113,34 @@ func (m *Metrics) shard(i int) *shardInstruments {
 			"Tasks rejected, per shard and wire reason token.",
 			metrics.Labels{"shard": strconv.Itoa(i), "reason": r.String()})
 	}
+	si.displacements = m.reg.Counter("rtdls_displacements_total",
+		"Admitted-but-uncommitted tasks that lost their seat to a node drain or failure, per shard.", lbl)
+	si.fleetNodes = make(map[cluster.NodeState]*metrics.Gauge, 3)
+	for _, st := range cluster.NodeStates() {
+		si.fleetNodes[st] = m.reg.Gauge("rtdls_fleet_nodes",
+			"Cluster nodes by lifecycle state, per shard.",
+			metrics.Labels{"shard": strconv.Itoa(i), "state": st.String()})
+	}
 	m.shards[i] = si
 	return si
+}
+
+// setFleet refreshes the per-state node-count gauges.
+func (si *shardInstruments) setFleet(up, draining, down int) {
+	si.fleetNodes[cluster.NodeUp].Set(float64(up))
+	si.fleetNodes[cluster.NodeDraining].Set(float64(draining))
+	si.fleetNodes[cluster.NodeDown].Set(float64(down))
+}
+
+// Readmission returns (registering on first use) the pool-level histogram
+// of seconds between a task's displacement and its re-admission on another
+// shard.
+func (m *Metrics) Readmission() *metrics.Histogram {
+	m.readmitOnce.Do(func() {
+		m.readmitHist = m.reg.Histogram("rtdls_readmission_seconds",
+			"Wall-clock seconds from a task's displacement to its re-admission on another shard.", nil)
+	})
+	return m.readmitHist
 }
 
 // reject counts one rejection under its reason label.

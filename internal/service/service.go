@@ -108,6 +108,20 @@ type Stats struct {
 	Utilization  float64 // BusyTime / (N × max(Time, LastRelease))
 
 	EventsDropped uint64 // events lost across lagging subscribers
+
+	// Fleet state and churn accounting. NodesUp/NodesDraining/NodesDown
+	// partition the (current) node count; Displaced counts admitted tasks
+	// that lost their seat to a drain or failure, Readmitted the displaced
+	// tasks a pool re-seated on another shard (always 0 for a standalone
+	// service), and LateCommits the committed plans whose simulated
+	// completion missed the absolute deadline — zero unless committed work
+	// was disturbed outside the model.
+	NodesUp       int
+	NodesDraining int
+	NodesDown     int
+	Displaced     int
+	Readmitted    int
+	LateCommits   int
 }
 
 // RejectRatio returns Rejects/Arrivals (0 when nothing has arrived).
@@ -161,6 +175,15 @@ type Service struct {
 	idleBits    atomic.Uint64 // cluster.ReservedIdle() as float64 bits
 	releaseBits atomic.Uint64 // cluster.LastRelease() as float64 bits
 
+	// Fleet mirrors (refreshed under mu by the fleet ops in fleet.go) and
+	// churn counters, all lock-free for Stats() and the placement layer.
+	nodesUp       atomic.Int64
+	nodesDraining atomic.Int64
+	nodesDown     atomic.Int64
+	nodesTotal    atomic.Int64
+	displaced     atomic.Int64
+	lateCommits   atomic.Int64
+
 	exec ExecStats // under mu
 
 	met  *Metrics          // nil when uninstrumented
@@ -211,6 +234,8 @@ func New(cfg Config) (*Service, error) {
 		sched.SetStageObserver(cfg.Metrics)
 		cfg.Metrics.observeBus(bus)
 	}
+	s.nodesTotal.Store(int64(cfg.Cluster.N()))
+	s.refreshFleetLocked()
 	return s, nil
 }
 
@@ -404,8 +429,12 @@ func (s *Service) commitDueLocked(now float64) error {
 		s.exec.RespSum += actual - pl.Task.Arrival
 		s.exec.SlackSum += pl.Est - actual
 		s.exec.NodeSum += len(pl.Nodes)
-		if l := actual - pl.Task.AbsDeadline(); l > s.exec.MaxLateness {
+		l := actual - pl.Task.AbsDeadline()
+		if l > s.exec.MaxLateness {
 			s.exec.MaxLateness = l
+		}
+		if absD := pl.Task.AbsDeadline(); l > 1e-9*math.Max(1, math.Abs(absD)) {
+			s.lateCommits.Add(1)
 		}
 		s.commits.Add(1)
 		s.publishLocked(Event{
@@ -494,9 +523,14 @@ func (s *Service) Stats() Stats {
 		ReservedIdle:  math.Float64frombits(s.idleBits.Load()),
 		LastRelease:   rel,
 		EventsDropped: s.bus.DroppedTotal(),
+		NodesUp:       int(s.nodesUp.Load()),
+		NodesDraining: int(s.nodesDraining.Load()),
+		NodesDown:     int(s.nodesDown.Load()),
+		Displaced:     int(s.displaced.Load()),
+		LateCommits:   int(s.lateCommits.Load()),
 	}
 	if span := math.Max(now, rel); span > 0 {
-		st.Utilization = busy / (float64(s.cl.N()) * span)
+		st.Utilization = busy / (float64(s.nodesTotal.Load()) * span)
 	}
 	return st
 }

@@ -25,7 +25,12 @@ import (
 // 3.1.0 added the end-to-end observability layer (NewMetricsRegistry,
 // WithMetrics, Accepting; /metrics exposition, per-stage admission
 // timing, structured request logs and pprof wiring in dlserve).
-const Version = "3.1.0"
+// 3.2.0 made the fleet dynamic: DrainNode/FailNode/RestoreNode/AddNode
+// with committed-plan re-validation and typed displacement (ErrDisplaced,
+// EventDisplace), the node admin API and node_states in dlserve, and the
+// scriptable churn schedule (ParseChurnSchedule, WithChurn, -churn) with
+// fleet metrics in the exposition and in BENCH_wire.json.
+const Version = "3.2.0"
 
 // Params holds the cluster's linear cost coefficients: Cms is the time to
 // transmit one unit of load from the head node to a processing node, Cps

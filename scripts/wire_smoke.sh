@@ -7,6 +7,13 @@
 #   - the /metrics counters agree with themselves: a live scrape shows
 #     submits == accepts + rejects, and the post-drain exposition shows
 #     accepts == commits with zero dropped events.
+# A second churn stage then reruns the server under open-loop traffic
+# while dlload fails one node mid-run and restores it, asserting that
+#   - every churn op was accepted by the admin API,
+#   - no committed plan missed its deadline (LateCommits == 0),
+#   - post-drain, accepts == commits + displacements in the exposition
+#     and the pool identity accepts == commits + displaced - readmitted
+#     holds in the final stats snapshot.
 # Run locally via `make wire-smoke`; CI runs this same script.
 set -eu
 
@@ -87,4 +94,54 @@ f_dropped=$(msum rtdls_events_dropped_total "$tmp/final_metrics.prom")
 echo "wire-smoke: final metrics accepts=$f_accepts commits=$f_commits events_dropped=$f_dropped"
 [ "$f_accepts" -eq "$f_commits" ] || { echo "wire-smoke: final metrics accepts != commits" >&2; exit 1; }
 [ "$f_dropped" -eq 0 ] || { echo "wire-smoke: event bus dropped events" >&2; exit 1; }
+
+# ---- churn stage -----------------------------------------------------
+# Rerun the server and drive open-loop traffic while dlload fails node 3
+# mid-run through the admin API and restores it two seconds later.
+CHURN_RATE=${CHURN_RATE:-3000}
+CHURN_N=${CHURN_N:-15000}
+
+"$tmp/dlserve" -addr "$ADDR" -n 8 -shards 4 -placement spillover -max-queue 64 \
+	-scale 100000 -quiet -log-format json -final-stats "$tmp/churn_stats.json" \
+	-final-metrics "$tmp/churn_metrics.prom" &
+server_pid=$!
+i=0
+until curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ "$i" -le 50 ] || { echo "wire-smoke: churn-stage dlserve never became healthy" >&2; exit 1; }
+	sleep 0.2
+done
+
+"$tmp/dlload" -url "http://$ADDR" -mode open -rate "$CHURN_RATE" -n "$CHURN_N" \
+	-sigma 200 -deadline 20000 -sigma-spread 2 \
+	-churn "t=1s fail n3; t=3s restore n3" -fail-on-churn-errors \
+	-fail-on-5xx -out "$tmp/BENCH_churn.json"
+
+kill -TERM "$server_pid"
+wait "$server_pid"
+
+cfield() { sed -n "s/^ *\"$1\": \([0-9-]*\),*$/\1/p" "$tmp/churn_stats.json" | head -1; }
+c_accepts=$(cfield Accepts)
+c_commits=$(cfield Commits)
+c_displaced=$(cfield Displaced)
+c_readmitted=$(cfield Readmitted)
+c_late=$(cfield LateCommits)
+c_queue=$(cfield QueueLen)
+echo "wire-smoke: churn accepts=$c_accepts commits=$c_commits displaced=$c_displaced readmitted=$c_readmitted late_commits=$c_late"
+[ -n "$c_accepts" ] && [ -n "$c_late" ] || { echo "wire-smoke: missing churn final stats" >&2; exit 1; }
+[ "$c_late" -eq 0 ] || { echo "wire-smoke: $c_late committed plans missed their deadline under churn" >&2; exit 1; }
+[ "$c_queue" -eq 0 ] || { echo "wire-smoke: queue not empty after churn drain" >&2; exit 1; }
+[ "$c_accepts" -eq $((c_commits + c_displaced - c_readmitted)) ] || {
+	echo "wire-smoke: churn identity broken: accepts != commits + displaced - readmitted" >&2
+	exit 1
+}
+
+g_accepts=$(msum rtdls_accepts_total "$tmp/churn_metrics.prom")
+g_commits=$(msum rtdls_commits_total "$tmp/churn_metrics.prom")
+g_displacements=$(msum rtdls_displacements_total "$tmp/churn_metrics.prom")
+echo "wire-smoke: churn metrics accepts=$g_accepts commits=$g_commits displacements=$g_displacements"
+[ "$g_accepts" -eq $((g_commits + g_displacements)) ] || {
+	echo "wire-smoke: churn metrics invariant broken: accepts != commits + displacements" >&2
+	exit 1
+}
 echo "wire-smoke: OK"

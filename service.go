@@ -6,6 +6,7 @@ import (
 
 	"rtdls/internal/cluster"
 	"rtdls/internal/driver"
+	"rtdls/internal/fleet"
 	"rtdls/internal/metrics"
 	"rtdls/internal/pool"
 	"rtdls/internal/rt"
@@ -52,7 +53,45 @@ const (
 	EventAccept = service.EventAccept
 	EventReject = service.EventReject
 	EventCommit = service.EventCommit
+	// EventDisplace: an admitted-but-uncommitted task lost its seat to a
+	// node drain/fail; Reason is ReasonNodeUnavailable. On a pool the task
+	// may be re-admitted on another shard (a fresh EventAccept there).
+	EventDisplace = service.EventDisplace
 )
+
+// NodeState is a node's lifecycle state in the fleet subsystem: NodeUp
+// (placeable), NodeDraining (no new placements, committed work finishes)
+// or NodeDown (capacity gone now).
+type NodeState = service.NodeState
+
+// Node lifecycle states.
+const (
+	NodeUp       = service.NodeUp
+	NodeDraining = service.NodeDraining
+	NodeDown     = service.NodeDown
+)
+
+// FleetResult reports the outcome of one fleet operation: the node, its
+// new state, and how many waiting tasks were displaced and (pool only)
+// re-admitted elsewhere.
+type FleetResult = service.FleetResult
+
+// ChurnSchedule is a declarative script of node drain/fail/restore
+// operations — the reproducible chaos input of WithChurn and of the
+// -churn flag of dlsim, dlserve and dlload. Parse one with
+// ParseChurnSchedule; see that function for the grammar.
+type ChurnSchedule = fleet.Schedule
+
+// ChurnOp is one scheduled churn operation.
+type ChurnOp = fleet.Op
+
+// ParseChurnSchedule parses a churn schedule: ";"-separated entries of the
+// form "t=<offset> <drain|fail|restore> n<id>", e.g.
+// "t=5s fail n3; t=12s restore n3". A bare-number offset is in the
+// runner's native time base (simulation units for Simulate, wall seconds
+// for dlserve/dlload); a Go duration suffix ("5s", "250ms") converts to
+// seconds. Node ids are engine-wide (shard-major on a pool).
+func ParseChurnSchedule(s string) (ChurnSchedule, error) { return fleet.ParseSchedule(s) }
 
 // ServiceStats is an atomic snapshot of a Service's admission counters and
 // cluster accounting.
@@ -121,6 +160,7 @@ type serviceOptions struct {
 	shardNodes []int
 	shardCosts [][]NodeCost
 	metrics    *MetricsRegistry
+	churn      ChurnSchedule
 }
 
 func defaultOptions() serviceOptions {
@@ -287,6 +327,19 @@ func WithMetrics(reg *MetricsRegistry) Option {
 	}
 }
 
+// WithChurn scripts node drain/fail/restore operations into a Simulate
+// run: each op fires as a discrete event at its simulation-time offset,
+// so a churn run replays bit for bit. Displaced tasks relax the result
+// identity to Committed + Displaced - Readmitted == Accepted. New ignores
+// it — drive a live service with DrainNode/FailNode/RestoreNode (or the
+// dlserve/dlload -churn flags) instead.
+func WithChurn(sch ChurnSchedule) Option {
+	return func(o *serviceOptions) error {
+		o.churn = append(ChurnSchedule(nil), sch...)
+		return nil
+	}
+}
+
 // WithShards splits the service into k independent cluster shards fronted
 // by a placement layer (default RoundRobin; see WithPlacement): each shard
 // gets its own scheduler and lock, so submissions contend only per shard
@@ -398,6 +451,7 @@ func (o serviceOptions) config() driver.Config {
 		Placement:      o.placement,
 		ShardNodes:     o.shardNodes,
 		ShardNodeCosts: o.shardCosts,
+		Churn:          o.churn,
 	}
 }
 
@@ -582,6 +636,33 @@ func (s *Service) Drain() error { return s.engine.Drain() }
 
 // Clock returns the service's clock (shared by every shard).
 func (s *Service) Clock() Clock { return s.engine.Clock() }
+
+// DrainNode stops placing new work on the node; committed work runs to
+// completion. Waiting plans are re-validated against the remaining live
+// capacity: tasks that no longer pass the schedulability test are
+// displaced (EventDisplace with ReasonNodeUnavailable on the stream) and,
+// on a pooled service, offered to the other shards through the normal
+// admission test. The node id is engine-wide (shard-major on a pool).
+func (s *Service) DrainNode(node int) (FleetResult, error) { return s.engine.DrainNode(node) }
+
+// FailNode removes the node's capacity immediately; waiting plans are
+// re-validated exactly as for DrainNode.
+func (s *Service) FailNode(node int) (FleetResult, error) { return s.engine.FailNode(node) }
+
+// RestoreNode returns a drained or failed node to service. Nothing is
+// displaced — capacity only grows — and a fail-then-restore cycle with no
+// interim admissions leaves the scheduler bit-identical to one that never
+// failed.
+func (s *Service) RestoreNode(node int) (FleetResult, error) { return s.engine.RestoreNode(node) }
+
+// AddNode grows the fleet by one node with the given cost coefficients
+// and returns its engine-wide id. On a pooled service the node joins the
+// shard with the fewest live nodes.
+func (s *Service) AddNode(nc NodeCost) (int, error) { return s.engine.AddNode(nc) }
+
+// NodeStates returns every node's lifecycle state, indexed by the
+// engine-wide node id (shard-major on a pool).
+func (s *Service) NodeStates() []NodeState { return s.engine.NodeStates() }
 
 // Costs returns the per-node cost model the service schedules against —
 // shard 0's for a pooled service (see ShardCosts for the fleet).
