@@ -3,9 +3,9 @@
 
 GO ?= go
 FUZZTIME ?= 10s
-FUZZ_PKGS := ./internal/core ./internal/dlt ./internal/fleet
+FUZZ_PKGS := ./internal/core ./internal/dlt ./internal/fleet ./internal/rt
 
-.PHONY: build test bench bench-json fmt fmt-check vet race fuzz-smoke serve loadtest wire-smoke ci
+.PHONY: build test bench bench-json bench-index fmt fmt-check vet race fuzz-smoke serve loadtest wire-smoke ci
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,12 @@ bench:
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -json . > BENCH_service.json
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -json ./internal/pool > BENCH_pool.json
+
+# Admission-index scaling gate: BenchmarkSubmit*/nodes={100,1000,10000}
+# into BENCH_index.json, then cmd/benchgate fails the target if per-submit
+# ns/op grows super-linearly (> MAX_RATIO, default 15x over a 100x fleet).
+bench-index:
+	./scripts/bench_index.sh
 
 fmt:
 	gofmt -w .

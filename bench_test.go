@@ -237,6 +237,38 @@ func BenchmarkServiceSubmitParallel(b *testing.B) {
 	})
 }
 
+// BenchmarkServiceSubmitHopeless measures the reject fast path end to
+// end: every submission's deadline is below its bare transmission time,
+// so admission resolves at the scheduler's infeasibility fast-reject —
+// one order-statistic probe of the availability index — without replanning
+// the waiting queue. This is the service-level cost of shedding hopeless
+// load during an overload spike.
+func BenchmarkServiceSubmitHopeless(b *testing.B) {
+	clock := rtdls.NewManualClock(0)
+	svc, err := rtdls.New(rtdls.WithClock(clock))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clock.Advance(100)
+		dec, err := svc.Submit(ctx, rtdls.Task{
+			ID:          int64(i + 1),
+			Sigma:       5000,
+			RelDeadline: 10,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if dec.Accepted {
+			b.Fatal("hopeless task admitted")
+		}
+	}
+}
+
 // --- Ablations (design choices called out in DESIGN.md §4) -------------
 
 // BenchmarkAblationRounds sweeps the multi-round extension's installment

@@ -55,6 +55,7 @@ func (c *Cluster) SetNodeState(id int, st NodeState) error {
 	}
 	c.ensureState()
 	c.state[id] = st
+	c.version++
 	return nil
 }
 
@@ -138,6 +139,7 @@ func (c *Cluster) AddNode(nc dlt.NodeCost, availFrom float64) (int, error) {
 	if c.state != nil {
 		c.state = append(c.state, NodeUp)
 	}
+	c.version++
 	return id, nil
 }
 

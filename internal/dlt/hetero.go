@@ -51,6 +51,7 @@ func (c NodeCost) Params() Params { return Params{Cms: c.Cms, Cps: c.Cps} }
 type CostModel struct {
 	costs   []NodeCost
 	uniform bool
+	fastest NodeCost // componentwise minima, precomputed so Fastest is O(1)
 }
 
 // NewCostModel builds a cost model from per-node coefficients (indexed by
@@ -76,7 +77,17 @@ func NewCostModel(costs []NodeCost) (*CostModel, error) {
 		// uniform zero-Cms model on the general path instead.
 		uniform = false
 	}
-	return &CostModel{costs: cp, uniform: uniform}, nil
+	return &CostModel{costs: cp, uniform: uniform, fastest: minCost(cp)}, nil
+}
+
+// minCost returns the componentwise minima over the (non-empty) table.
+func minCost(costs []NodeCost) NodeCost {
+	f := costs[0]
+	for _, c := range costs[1:] {
+		f.Cms = math.Min(f.Cms, c.Cms)
+		f.Cps = math.Min(f.Cps, c.Cps)
+	}
+	return f
 }
 
 // UniformCosts returns the cost model in which every one of the n nodes has
@@ -92,7 +103,7 @@ func UniformCosts(p Params, n int) (*CostModel, error) {
 	for i := range costs {
 		costs[i] = NodeCost{Cms: p.Cms, Cps: p.Cps}
 	}
-	return &CostModel{costs: costs, uniform: true}, nil
+	return &CostModel{costs: costs, uniform: true, fastest: costs[0]}, nil
 }
 
 // N returns the number of nodes.
@@ -124,15 +135,9 @@ func (m *CostModel) Reference() Params {
 
 // Fastest returns the componentwise minima over all nodes — an "optimistic
 // uniform cluster" at least as fast as any real subset, used for safe lower
-// bounds such as HeteroMinNodesBound.
-func (m *CostModel) Fastest() NodeCost {
-	f := m.costs[0]
-	for _, c := range m.costs[1:] {
-		f.Cms = math.Min(f.Cms, c.Cms)
-		f.Cps = math.Min(f.Cps, c.Cps)
-	}
-	return f
-}
+// bounds such as HeteroMinNodesBound and the admission fast-reject. O(1):
+// the minima are precomputed at construction.
+func (m *CostModel) Fastest() NodeCost { return m.fastest }
 
 // Select returns the coefficients of the given node ids, in id-slice order
 // (the caller's dispatch order). The result is freshly allocated.

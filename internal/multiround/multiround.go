@@ -156,6 +156,16 @@ func (p Partitioner) Rounds() int { return p.rounds }
 // Name implements rt.Partitioner.
 func (p Partitioner) Name() string { return fmt.Sprintf("dlt-mr%d", p.rounds) }
 
+// FastReject implements rt.FastRejecter. The node search starts at the
+// same ñ_min(t) bound as the single-round partitioners, and both the
+// multi-round and the single-round-fallback completion estimates strictly
+// exceed the shared lower bounds (the latest required node's release, and
+// the sequential transmission of the whole load), so the min-nodes fast
+// reject is sound for the min of the two.
+func (p Partitioner) FastReject(ctx *rt.PlanContext, t *rt.Task) bool {
+	return ctx.FastRejectMinNodes(t)
+}
+
 // Plan implements rt.Partitioner. The node count follows the same ñ_min(t)
 // rule as the single-round IIT-DLT partitioner (so comparing the two
 // isolates the value of multi-round dispatch); the chosen node set is then
@@ -177,11 +187,7 @@ func (p Partitioner) Plan(ctx *rt.PlanContext, t *rt.Task) (*rt.Plan, error) {
 	}
 	eps := 1e-9 * math.Max(1, math.Abs(absD))
 	for n := n0; n <= ctx.N; n++ {
-		vids, vtimes := ctx.View.Earliest(n)
-		starts := make([]float64, n)
-		for i, tm := range vtimes {
-			starts[i] = math.Max(tm, floor)
-		}
+		ids, starts := ctx.ClampedStarts(t, n)
 		m, err := core.New(ctx.P, t.Sigma, starts)
 		if err != nil {
 			return nil, fmt.Errorf("multiround: heterogeneous model: %w", err)
@@ -196,8 +202,6 @@ func (p Partitioner) Plan(ctx *rt.PlanContext, t *rt.Task) (*rt.Plan, error) {
 			// past the deadline, as the single-round partitioner does.
 			continue
 		}
-		ids := make([]int, n)
-		copy(ids, vids)
 		if tl.Completion <= srEst {
 			release := make([]float64, n)
 			copy(release, tl.Finish)
@@ -251,12 +255,8 @@ func (p Partitioner) planHetero(cm *dlt.CostModel, ctx *rt.PlanContext, t *rt.Ta
 	}
 	eps := 1e-9 * math.Max(1, math.Abs(absD))
 	for n := n0; n <= ctx.N; n++ {
-		vids, vtimes := ctx.View.Earliest(n)
-		starts := make([]float64, n)
-		for i, tm := range vtimes {
-			starts[i] = math.Max(tm, floor)
-		}
-		costs := cm.Select(vids)
+		ids, starts := ctx.ClampedStarts(t, n)
+		costs := cm.Select(ids)
 		m, err := core.NewHetero(costs, t.Sigma, starts)
 		if err != nil {
 			return nil, fmt.Errorf("multiround: heterogeneous model: %w", err)
@@ -273,8 +273,6 @@ func (p Partitioner) planHetero(cm *dlt.CostModel, ctx *rt.PlanContext, t *rt.Ta
 		if math.Min(tl.Completion, srEst) > absD+eps {
 			continue
 		}
-		ids := make([]int, n)
-		copy(ids, vids)
 		if tl.Completion <= srEst {
 			release := make([]float64, n)
 			for i := range release {

@@ -1,6 +1,7 @@
 package rt
 
 import (
+	"fmt"
 	"testing"
 
 	"rtdls/internal/cluster"
@@ -39,6 +40,92 @@ func BenchmarkSubmitIITDLT(b *testing.B)    { benchSubmit(b, IITDLT{}, EDF) }
 func BenchmarkSubmitOPRMN(b *testing.B)     { benchSubmit(b, OPR{}, EDF) }
 func BenchmarkSubmitUserSplit(b *testing.B) { benchSubmit(b, UserSplit{}, EDF) }
 func BenchmarkSubmitFIFO(b *testing.B)      { benchSubmit(b, IITDLT{}, FIFO) }
+
+// submitScaleSizes is the cluster-size sweep shared by the index-scaling
+// benchmarks below. scripts/bench_index.sh runs them into BENCH_index.json
+// and cmd/benchgate gates the nodes=10000 vs nodes=100 ns/op ratio, so the
+// sub-linear per-submit contract of the availability index is enforced in
+// CI without machine-dependent absolute thresholds.
+var submitScaleSizes = []int{100, 1000, 10000}
+
+// BenchmarkSubmit measures the steady-state accept path as the fleet
+// grows: every task is feasible, commits on the next sweep, and touches
+// only its ñ_min nodes, so per-submit cost is dominated by the
+// availability-view maintenance — one rollback of the previous test's
+// tentative assignments plus O(k log n) index updates. Before the treap
+// index this path re-sorted all n nodes per submission.
+func BenchmarkSubmit(b *testing.B) {
+	for _, n := range submitScaleSizes {
+		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
+			cl, err := cluster.New(n, baseline)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := NewScheduler(cl, EDF, IITDLT{})
+			now := 0.0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				task := &Task{
+					ID:          int64(i + 1),
+					Arrival:     now,
+					Sigma:       150 + float64(i%8)*12.5,
+					RelDeadline: 5200,
+				}
+				ok, err := s.Submit(task, now)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !ok {
+					b.Fatalf("steady-state task %d rejected", task.ID)
+				}
+				if _, err := s.CommitDue(now); err != nil {
+					b.Fatal(err)
+				}
+				now += 2600
+			}
+		})
+	}
+}
+
+// BenchmarkSubmitFastReject measures the hopeless-task path: the whole
+// fleet is committed busy far beyond every deadline, so each submission
+// resolves at the O(log n) order-statistic probe of the committed index
+// without calling the partitioner. The cost should be flat in the fleet
+// size up to the logarithmic factor.
+func BenchmarkSubmitFastReject(b *testing.B) {
+	for _, n := range submitScaleSizes {
+		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
+			cl, err := cluster.New(n, baseline)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids := make([]int, n)
+			starts := make([]float64, n)
+			release := make([]float64, n)
+			for i := range ids {
+				ids[i] = i
+				release[i] = 1e9
+			}
+			if err := cl.Commit(ids, starts, release, 0); err != nil {
+				b.Fatal(err)
+			}
+			s := NewScheduler(cl, EDF, IITDLT{})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				task := &Task{ID: int64(i + 1), Arrival: 0, Sigma: 200, RelDeadline: 5000}
+				ok, err := s.Submit(task, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if ok {
+					b.Fatalf("task %d admitted on a saturated fleet", task.ID)
+				}
+			}
+		})
+	}
+}
 
 func BenchmarkPlanIITDLT(b *testing.B) {
 	avail := make([]float64, 16)

@@ -27,6 +27,13 @@ type IITDLT struct{}
 // Name implements Partitioner.
 func (IITDLT) Name() string { return "dlt-iit" }
 
+// FastReject implements FastRejecter: the search starts at ñ_min(t), so a
+// task is certainly rejected when the bound fails or the ñ_min earliest
+// nodes are provably too late.
+func (IITDLT) FastReject(ctx *PlanContext, t *Task) bool {
+	return ctx.FastRejectMinNodes(t)
+}
+
 // Plan implements Partitioner.
 func (IITDLT) Plan(ctx *PlanContext, t *Task) (*Plan, error) {
 	if cm := ctx.heteroCosts(); cm != nil {

@@ -28,6 +28,16 @@ func (o OPR) Name() string {
 	return "opr-mn"
 }
 
+// FastReject implements FastRejecter. OPR-MN shares the ñ_min(t) bound
+// with IITDLT; OPR-AN always waits for the whole cluster, so the provable
+// lower bound is anchored at the N-th (last) release time.
+func (o OPR) FastReject(ctx *PlanContext, t *Task) bool {
+	if !o.AllNodes {
+		return ctx.FastRejectMinNodes(t)
+	}
+	return ctx.ProvablyLate(t, ctx.N)
+}
+
 // Plan implements Partitioner.
 func (o OPR) Plan(ctx *PlanContext, t *Task) (*Plan, error) {
 	if cm := ctx.heteroCosts(); cm != nil {

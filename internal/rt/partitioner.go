@@ -53,20 +53,81 @@ type Partitioner interface {
 	Plan(ctx *PlanContext, t *Task) (*Plan, error)
 }
 
-// clampedStarts materialises r_k = max(Release(node_k), A_i, now) for the k
+// FastRejecter is an optional Partitioner extension consulted by the
+// scheduler before the full O(queue × plan) replan: FastReject reports
+// whether Plan is *certain* to find no deadline-meeting assignment for t
+// against the given committed cluster state. Implementations must be sound
+// — a true return must imply the full admission test would reject t — and
+// cheap: O(log n) against the availability index, never a partitioner run.
+// The context's view carries the committed base state (no tentative
+// assignments) when FastReject is called.
+type FastRejecter interface {
+	FastReject(ctx *PlanContext, t *Task) bool
+}
+
+// ClampedStarts materialises r_k = max(Release(node_k), A_i, now) for the k
 // earliest-available nodes (Fig. 2's "set processor available times",
 // clamped so replanned waiting tasks cannot start in the past). The
-// returned slices are freshly allocated; ids is copied from the view.
-func clampedStarts(ctx *PlanContext, t *Task, k int) (ids []int, starts []float64) {
-	vids, vtimes := ctx.View.Earliest(k)
+// returned slices are freshly allocated and owned by the caller; external
+// partitioners (package multiround) use it for the same node-selection rule.
+func (ctx *PlanContext) ClampedStarts(t *Task, k int) (ids []int, starts []float64) {
 	ids = make([]int, k)
 	starts = make([]float64, k)
-	copy(ids, vids)
+	ctx.View.EarliestInto(ids, starts)
 	floor := ctx.startFloor(t)
-	for i, tm := range vtimes {
+	for i, tm := range starts {
 		starts[i] = math.Max(tm, floor)
 	}
 	return ids, starts
+}
+
+// clampedStarts is the in-package shorthand for ClampedStarts.
+func clampedStarts(ctx *PlanContext, t *Task, k int) (ids []int, starts []float64) {
+	return ctx.ClampedStarts(t, k)
+}
+
+// ProvablyLate reports whether any plan that (a) uses at least the k
+// earliest-available eligible nodes and (b) transmits the whole load over
+// the (fastest) link provably completes past t's deadline. Every
+// partitioner's completion estimate strictly exceeds both max(floor, r_k)
+// — the task cannot finish before its latest required node frees up — and
+// floor + σ·Cms — the load must cross the network before the last byte
+// computes — so when either lower bound already reaches the deadline (with
+// the same ε tolerance the admission check uses), the full test is certain
+// to reject. O(log n): one order-statistic query against the index.
+func (ctx *PlanContext) ProvablyLate(t *Task, k int) bool {
+	absD := t.AbsDeadline()
+	floor := ctx.startFloor(t)
+	lb := math.Max(floor, ctx.View.EarliestTimeAt(k))
+	cms := ctx.P.Cms
+	if cm := ctx.heteroCosts(); cm != nil {
+		cms = cm.Fastest().Cms
+	}
+	if send := floor + t.Sigma*cms; send > lb {
+		lb = send
+	}
+	return lb >= absD+deadlineEps(absD)
+}
+
+// FastRejectMinNodes is the shared FastReject implementation for
+// partitioners whose node search starts at the ñ_min(t) bound (IITDLT,
+// OPR-MN, multiround): infeasible when the bound itself fails (γ ≤ 0 or
+// ñ_min > N — exactly the pre-loop check Plan performs), or when even the
+// ñ_min earliest nodes are provably too late.
+func (ctx *PlanContext) FastRejectMinNodes(t *Task) bool {
+	absD := t.AbsDeadline()
+	slack := absD - ctx.startFloor(t)
+	var n0 int
+	var ok bool
+	if cm := ctx.heteroCosts(); cm != nil {
+		n0, ok = dlt.HeteroMinNodesBound(cm, t.Sigma, slack)
+	} else {
+		n0, ok = dlt.MinNodesBound(ctx.P, t.Sigma, slack)
+	}
+	if !ok || n0 > ctx.N {
+		return true
+	}
+	return ctx.ProvablyLate(t, n0)
 }
 
 // deadlineEps returns the absolute tolerance for comparing a completion

@@ -53,6 +53,26 @@ type Scheduler struct {
 	eligBuf  []bool
 	pctx     PlanContext
 
+	// The availability view is kept base-synced across submissions:
+	// clVersion records the cluster mutation counter the view's base
+	// snapshot reflects. While it matches, a fresh test costs one
+	// O(changed·log n) Rollback of the previous test's tentative
+	// assignments; on a mismatch (node churn, fleet growth, out-of-band
+	// commits) the view is rebuilt from a full snapshot. liveCache is the
+	// live-node count at the last sync — LiveNodes is O(n) under churn.
+	clVersion uint64
+	liveCache int
+
+	// Testing hooks (never set in production): noFastReject skips the
+	// FastRejecter consultation, forceRefView serves every view query from
+	// the full-sort reference implementation, and resyncEachUse rebuilds
+	// the view from a fresh snapshot on every test — together they
+	// reproduce the legacy per-submit sorted-slice behaviour for the
+	// bit-for-bit equivalence suite.
+	noFastReject  bool
+	forceRefView  bool
+	resyncEachUse bool
+
 	// Admission counters live on atomics so Stats() — and every observer
 	// built on it, including the /metrics scrape — never takes the
 	// scheduler lock. Writes still happen inside locked sections, so the
@@ -145,6 +165,32 @@ func (s *Scheduler) Submit(t *Task, now float64) (accepted bool, err error) {
 		t0 = time.Now()
 	}
 
+	view, live := s.freshViewLocked()
+	if live == 0 {
+		// The whole fleet is drained or down: nothing is placeable. The
+		// stage spans are still recorded — every submit contributes one
+		// sample per stage, whichever path it takes, so the stage
+		// histograms stay reconcilable with rtdls_submits_total.
+		s.reject(now, t)
+		s.observeEarlyReject(stageObs, t0)
+		return false, nil
+	}
+	s.pctx = PlanContext{P: s.cl.Params(), N: live, Now: now, View: view, Costs: s.cl.Costs()}
+
+	// Infeasibility fast-reject: a hopeless task — provably unable to meet
+	// its deadline even under the partitioner's most optimistic bounds —
+	// is rejected with one O(log n) order-statistic query against the
+	// committed availability index, skipping the O(queue × plan) replan.
+	// FastReject is sound (never fires on a task the full test would
+	// accept), so the admission decision stream is unchanged.
+	if !s.noFastReject {
+		if fr, ok := s.part.(FastRejecter); ok && fr.FastReject(&s.pctx, t) {
+			s.reject(now, t)
+			s.observeEarlyReject(stageObs, t0)
+			return false, nil
+		}
+	}
+
 	// TempTaskList ← NewTask + TaskWaitingQueue, ordered by the policy. The
 	// candidate list is a scratch buffer double-buffered against waiting.
 	cand := s.scratch[:0]
@@ -160,15 +206,6 @@ func (s *Scheduler) Submit(t *Task, now float64) (accepted bool, err error) {
 		cand = append(cand, t)
 	}
 	s.scratch = cand
-
-	view, live := s.resetViewLocked()
-	if live == 0 {
-		// The whole fleet is drained or down: nothing is placeable.
-		s.reject(now, t)
-		clear(cand)
-		return false, nil
-	}
-	s.pctx = PlanContext{P: s.cl.Params(), N: live, Now: now, View: view, Costs: s.cl.Costs()}
 	if stageObs != nil {
 		// Candidate selection ends once the availability view is set up;
 		// everything after splits into planning (the partitioner calls) and
@@ -238,24 +275,49 @@ func (s *Scheduler) Submit(t *Task, now float64) (accepted bool, err error) {
 	return true, nil
 }
 
-// resetViewLocked re-points the availability view at a fresh snapshot of
-// the cluster's release times, installs the placement-eligibility mask
-// when any node is drained or down, and returns the view together with the
-// live (placeable) node count. A fully-up fleet takes exactly the pre-fleet
-// path: no mask, live == N.
-func (s *Scheduler) resetViewLocked() (view *AvailView, live int) {
+// freshViewLocked hands the admission test an availability view holding
+// exactly the committed cluster state. While the cluster's mutation
+// counter still matches the view's base snapshot, that is one
+// O(changed·log n) Rollback of the previous test's tentative assignments
+// — the steady-state path, since CommitDue folds commits into the base
+// incrementally. On a version mismatch (node churn, fleet growth,
+// out-of-band commits) the view is rebuilt from a fresh snapshot, the
+// placement-eligibility mask is reinstalled when any node is drained or
+// down, and the live (placeable) node count is recached. A fully-up fleet
+// takes exactly the pre-fleet path: no mask, live == N.
+func (s *Scheduler) freshViewLocked() (view *AvailView, live int) {
+	if s.view != nil && !s.resyncEachUse && s.clVersion == s.cl.Version() {
+		s.view.Rollback()
+		return s.view, s.liveCache
+	}
 	s.availBuf = s.cl.AvailInto(s.availBuf)
 	if s.view == nil {
 		s.view = NewAvailView(s.availBuf)
 	} else {
 		s.view.Reset(s.availBuf)
 	}
+	s.view.refMode = s.forceRefView
 	live = s.cl.LiveNodes()
 	if live < s.cl.N() {
 		s.eligBuf = s.cl.EligibleInto(s.eligBuf)
 		s.view.SetEligible(s.eligBuf)
 	}
+	s.clVersion = s.cl.Version()
+	s.liveCache = live
 	return s.view, live
+}
+
+// observeEarlyReject records the stage spans for an admission test that
+// ended before planning began (fleet down, fast-reject): the elapsed time
+// is all candidate work, and the plan/check stages contribute explicit
+// zero-length spans so every submit yields exactly one sample per stage.
+func (s *Scheduler) observeEarlyReject(so StageObserver, t0 time.Time) {
+	if so == nil {
+		return
+	}
+	so.ObserveStage(StageCandidate, time.Since(t0).Seconds())
+	so.ObserveStage(StagePlan, 0)
+	so.ObserveStage(StageCheck, 0)
 }
 
 // SetNodeState transitions one cluster node and, on a capacity loss
@@ -303,7 +365,7 @@ func (s *Scheduler) revalidateLocked(now float64) (displaced []*Task, err error)
 	if len(s.waiting) == 0 {
 		return nil, nil
 	}
-	view, live := s.resetViewLocked()
+	view, live := s.freshViewLocked()
 	s.pctx = PlanContext{P: s.cl.Params(), N: live, Now: now, View: view, Costs: s.cl.Costs()}
 	keep := s.scratch[:0]
 	newPlans := s.spare
@@ -393,6 +455,16 @@ func (s *Scheduler) CommitDue(now float64) ([]*Plan, error) {
 	var out []*Plan
 	rest := s.waiting[:0]
 	tol := commitEps * math.Max(1, math.Abs(now))
+	// While the view is base-synced, fold each commit into its base
+	// incrementally (O(nodes·log n)) instead of forcing the next admission
+	// test to resnapshot and re-sort all N nodes. The tentative
+	// assignments of the last test are rolled back first — CommitBase
+	// mutates the base, not the tentative overlay. An error path below
+	// leaves clVersion stale, which safely forces a full resync.
+	synced := s.view != nil && !s.resyncEachUse && s.clVersion == s.cl.Version()
+	if synced {
+		s.view.Rollback()
+	}
 	for _, w := range s.waiting {
 		pl := s.plans[w.ID]
 		if pl == nil {
@@ -401,6 +473,9 @@ func (s *Scheduler) CommitDue(now float64) ([]*Plan, error) {
 		if pl.FirstStart() <= now+tol {
 			if err := s.cl.Commit(pl.Nodes, pl.Starts, pl.Release, pl.ReservedIdle); err != nil {
 				return out, fmt.Errorf("rt: committing task %d: %w", w.ID, err)
+			}
+			if synced {
+				s.view.CommitBase(pl.Nodes, pl.Release)
 			}
 			delete(s.plans, w.ID)
 			s.commits.Add(1)
@@ -417,6 +492,9 @@ func (s *Scheduler) CommitDue(now float64) ([]*Plan, error) {
 	clear(tail)
 	s.waiting = rest
 	s.queueLen.Store(int64(len(rest)))
+	if synced {
+		s.clVersion = s.cl.Version()
+	}
 	if stageObs != nil && len(out) > 0 {
 		stageObs.ObserveStage(StageCommit, time.Since(t0).Seconds())
 	}

@@ -18,6 +18,22 @@ type UserSplit struct{}
 // Name implements Partitioner.
 func (UserSplit) Name() string { return "user-split" }
 
+// FastReject implements FastRejecter: the node count is the user's fixed
+// request, so the lower bound is anchored at the k-th release time. A
+// request exceeding the cluster is deliberately NOT fast-rejected — the
+// full path reports it as a hard configuration error, not a clean reject,
+// and the fast path must preserve that distinction.
+func (UserSplit) FastReject(ctx *PlanContext, t *Task) bool {
+	k := t.UserN
+	if k < 1 {
+		return true
+	}
+	if k > ctx.N {
+		return false
+	}
+	return ctx.ProvablyLate(t, k)
+}
+
 // Plan implements Partitioner.
 func (UserSplit) Plan(ctx *PlanContext, t *Task) (*Plan, error) {
 	if cm := ctx.heteroCosts(); cm != nil {

@@ -30,7 +30,12 @@ import (
 // EventDisplace), the node admin API and node_states in dlserve, and the
 // scriptable churn schedule (ParseChurnSchedule, WithChurn, -churn) with
 // fleet metrics in the exposition and in BENCH_wire.json.
-const Version = "3.2.0"
+// 3.3.0 made admission cost sub-linear in the fleet size: the scheduler's
+// availability view became a base-synced order-statistic index with a
+// sound infeasibility fast-reject ahead of planning (decision stream
+// proven bit-for-bit unchanged), per-submit cost flat from 100 to 10,000
+// nodes and ratio-gated in CI (cmd/benchgate, BENCH_index.json).
+const Version = "3.3.0"
 
 // Params holds the cluster's linear cost coefficients: Cms is the time to
 // transmit one unit of load from the head node to a processing node, Cps

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Index-scaling benchmark gate: run the BenchmarkSubmit/nodes=<n> and
+# BenchmarkSubmitFastReject/nodes=<n> sweeps as a test2json stream
+# (BENCH_index.json, uploaded by CI next to BENCH_wire.json), then gate
+# the nodes=10000 vs nodes=100 ns/op growth with cmd/benchgate. The gate
+# is a ratio, not an absolute time, so it holds on any machine: a
+# per-submit cost linear in the fleet grows ~100x across the sweep, the
+# indexed hot path stays flat up to a log factor.
+# Run locally via `make bench-index`; CI runs this same script.
+set -eu
+
+GO=${GO:-go}
+OUT=${OUT:-BENCH_index.json}
+BENCHTIME=${BENCHTIME:-300ms}
+MAX_RATIO=${MAX_RATIO:-15}
+
+# Redirect instead of tee so a benchmark failure fails the script.
+$GO test ./internal/rt -run '^$' -bench '^BenchmarkSubmit(FastReject)?$' \
+	-benchmem -benchtime "$BENCHTIME" -json > "$OUT"
+$GO run ./cmd/benchgate -in "$OUT" -max-ratio "$MAX_RATIO"
