@@ -208,6 +208,48 @@ func BenchmarkServiceSubmit(b *testing.B) {
 	}
 }
 
+// TestServiceSubmitAllocs pins BenchmarkServiceSubmit's allocation budget:
+// the exact benchmark workload (accept-heavy, one mean task per mean
+// service time) must stay within the measured allocs/op plus slack. The
+// accepted Decision's three slices are backed by two allocations (one
+// float64 slab for Starts+Alphas, one []int); losing that packing — or any
+// other per-submit allocation creep — fails here before it shows up as a
+// benchmark regression.
+func TestServiceSubmitAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation adds allocations; the budget holds only on production builds")
+	}
+	clock := rtdls.NewManualClock(0)
+	svc, err := rtdls.New(rtdls.WithClock(clock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+	var id int64
+	allocs := testing.AllocsPerRun(500, func() {
+		id++
+		clock.Advance(2600)
+		dec, err := svc.Submit(ctx, rtdls.Task{
+			ID:          id,
+			Sigma:       150 + float64(id%8)*12.5,
+			RelDeadline: 5200,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dec.Accepted {
+			t.Fatalf("task %d rejected; the workload is tuned to accept", id)
+		}
+	})
+	// Measured 22 allocs/op on the accept path (plan slices, decision slab,
+	// queue bookkeeping); 24 leaves noise headroom while still catching a
+	// single systematic extra allocation per submit.
+	if allocs > 24 {
+		t.Fatalf("Submit allocates %.1f times per accepted task, want <= 24", allocs)
+	}
+}
+
 // BenchmarkServiceSubmitParallel drives the same service from GOMAXPROCS
 // goroutines, measuring contention on the single admission lock.
 func BenchmarkServiceSubmitParallel(b *testing.B) {

@@ -1,11 +1,23 @@
-// Command benchgate enforces the admission index's scaling contract from
-// a `go test -json` benchmark stream (BENCH_index.json in CI). For every
-// benchmark family carrying nodes=<n> subtests it compares ns/op at the
-// largest fleet against the smallest and fails when the growth exceeds
-// -max-ratio. Gating on the growth ratio rather than absolute ns keeps the
-// check machine-independent: a per-submit cost linear in the fleet would
-// grow ~100x over the nodes=100 → nodes=10000 sweep, while the indexed
-// hot path stays flat up to a logarithmic factor.
+// Command benchgate enforces benchmark contracts from `go test -json`
+// benchmark streams produced in CI.
+//
+// Default mode gates the admission index's scaling contract
+// (BENCH_index.json): for every benchmark family carrying nodes=<n>
+// subtests it compares ns/op at the largest fleet against the smallest and
+// fails when the growth exceeds -max-ratio. Gating on the growth ratio
+// rather than absolute ns keeps the check machine-independent: a per-submit
+// cost linear in the fleet would grow ~100x over the nodes=100 →
+// nodes=10000 sweep, while the indexed hot path stays flat up to a
+// logarithmic factor.
+//
+// -contention mode gates the optimistic-admission contract
+// (BENCH_contention.json) from BenchmarkSubmitContention/mix=<m>/mode=<m>/
+// gos=<n> results. Both gates are machine-adaptive via the GOMAXPROCS
+// suffix Go appends to benchmark names (absent suffix = 1 proc), because
+// the contract's premise is real parallelism: on a single proc submitters
+// never overlap, so speculation can neither scale (cold) nor conflict
+// (hot), and both gates are skipped with a note rather than measured
+// against a premise the machine cannot exhibit.
 package main
 
 import (
@@ -30,13 +42,21 @@ type event struct {
 	Output  string `json:"Output"`
 }
 
-// benchLine matches a benchmark result line inside an output event, e.g.
+// benchLine matches an index benchmark result line, e.g.
 // "BenchmarkSubmit/nodes=10000-8     28905     3913 ns/op    841 B/op".
 var benchLine = regexp.MustCompile(`^(Benchmark[^\s/]+)/nodes=(\d+)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// contLine matches a contention benchmark result line, e.g.
+// "BenchmarkSubmitContention/mix=hot/mode=spec/gos=8-16   300   3913 ns/op".
+var contLine = regexp.MustCompile(`^BenchmarkSubmitContention/mix=(\w+)/mode=(\w+)/gos=(\d+)(?:-(\d+))?\s+\d+\s+([0-9.]+) ns/op`)
 
 func main() {
 	in := flag.String("in", "BENCH_index.json", "go test -json benchmark stream to gate")
 	maxRatio := flag.Float64("max-ratio", 15, "max allowed ns/op growth, largest vs smallest fleet")
+	contention := flag.Bool("contention", false, "gate BenchmarkSubmitContention results instead of the nodes=<n> index families")
+	coldScalePerProc := flag.Float64("cold-scale-per-proc", 0.45, "required cold-mix throughput scaling at gos=8 vs gos=1, per usable proc")
+	coldScaleCap := flag.Float64("cold-scale-cap", 2.0, "cap on the required cold-mix scaling")
+	hotFloor := flag.Float64("hot-floor", 0.9, "min allowed spec/serial throughput ratio on the 100%-conflict mix")
 	flag.Parse()
 
 	f, err := os.Open(*in)
@@ -45,9 +65,7 @@ func main() {
 	}
 	defer f.Close()
 
-	// ns[family][fleet size] = best observed ns/op. Taking the minimum over
-	// repeated runs filters scheduling noise without hiding real growth.
-	ns := make(map[string]map[int]float64)
+	var lines []string
 	pending := make(map[string]string) // per-package unterminated output
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
@@ -62,7 +80,7 @@ func main() {
 			if i < 0 {
 				break
 			}
-			record(ns, buf[:i])
+			lines = append(lines, buf[:i])
 			buf = buf[i+1:]
 		}
 		pending[ev.Package] = buf
@@ -71,10 +89,46 @@ func main() {
 		fatalf("reading %s: %v", *in, err)
 	}
 	for _, rest := range pending {
-		record(ns, rest)
+		if rest != "" {
+			lines = append(lines, rest)
+		}
+	}
+
+	if *contention {
+		gateContention(lines, *in, *coldScalePerProc, *coldScaleCap, *hotFloor)
+		return
+	}
+	gateIndex(lines, *in, *maxRatio)
+}
+
+// gateIndex fails when any nodes=<n> family's ns/op grows by more than
+// maxRatio from the smallest fleet to the largest.
+func gateIndex(lines []string, in string, maxRatio float64) {
+	// ns[family][fleet size] = best observed ns/op. Taking the minimum over
+	// repeated runs filters scheduling noise without hiding real growth.
+	ns := make(map[string]map[int]float64)
+	for _, line := range lines {
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		nodes, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		if ns[m[1]] == nil {
+			ns[m[1]] = make(map[int]float64)
+		}
+		if cur, ok := ns[m[1]][nodes]; !ok || v < cur {
+			ns[m[1]][nodes] = v
+		}
 	}
 	if len(ns) == 0 {
-		fatalf("no nodes=<n> benchmark results in %s", *in)
+		fatalf("no nodes=<n> benchmark results in %s", in)
 	}
 
 	families := make([]string, 0, len(ns))
@@ -95,38 +149,129 @@ func main() {
 		lo, hi := sizes[0], sizes[len(sizes)-1]
 		ratio := ns[fam][hi] / ns[fam][lo]
 		verdict := "ok"
-		if ratio > *maxRatio {
+		if ratio > maxRatio {
 			verdict = "FAIL"
 			failed = true
 		}
 		fmt.Printf("benchgate: %s nodes=%d %.1f ns/op -> nodes=%d %.1f ns/op: x%.2f growth over x%d fleet (limit x%.1f) %s\n",
-			fam, lo, ns[fam][lo], hi, ns[fam][hi], ratio, hi/lo, *maxRatio, verdict)
+			fam, lo, ns[fam][lo], hi, ns[fam][hi], ratio, hi/lo, maxRatio, verdict)
 	}
 	if failed {
 		fatalf("per-submit cost grows super-linearly with the fleet")
 	}
 }
 
-// record matches one reassembled output line and folds its ns/op into the
-// per-family minimum.
-func record(ns map[string]map[int]float64, line string) {
-	m := benchLine.FindStringSubmatch(line)
-	if m == nil {
-		return
+// gateContention enforces the two optimistic-admission contracts:
+//
+//   - cold (low-conflict) mix: the speculative path at gos=8 must deliver at
+//     least min(coldScaleCap, coldScalePerProc·min(procs, 8))× the gos=1
+//     throughput. The per-proc slope discounts the ideal 8× for lock-window
+//     serialization and scheduler noise; the requirement caps at
+//     coldScaleCap× on big machines and is skipped when the stream was
+//     produced with too few procs for any scaling to be possible.
+//
+//   - hot (100%-conflict) mix: at every contended width (gos ≥ 4) the
+//     speculative path must retain at least hotFloor of the serialized
+//     throughput, i.e. the adaptive conflict gate must actually degenerate
+//     to near-serialized admission instead of burning planning work that
+//     always loses the install race. Skipped on single-proc streams, where
+//     submitters never overlap and so no conflict ever occurs to trigger
+//     the gate.
+func gateContention(lines []string, in string, coldScalePerProc, coldScaleCap, hotFloor float64) {
+	// ns[mix][mode][gos] = best observed ns/op.
+	ns := map[string]map[string]map[int]float64{}
+	procs := 1
+	for _, line := range lines {
+		m := contLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		gos, err := strconv.Atoi(m[3])
+		if err != nil {
+			continue
+		}
+		if m[4] != "" {
+			if p, err := strconv.Atoi(m[4]); err == nil && p > procs {
+				procs = p
+			}
+		}
+		v, err := strconv.ParseFloat(m[5], 64)
+		if err != nil {
+			continue
+		}
+		if ns[m[1]] == nil {
+			ns[m[1]] = map[string]map[int]float64{}
+		}
+		if ns[m[1]][m[2]] == nil {
+			ns[m[1]][m[2]] = map[int]float64{}
+		}
+		if cur, ok := ns[m[1]][m[2]][gos]; !ok || v < cur {
+			ns[m[1]][m[2]][gos] = v
+		}
 	}
-	nodes, err := strconv.Atoi(m[2])
-	if err != nil {
-		return
+	if len(ns) == 0 {
+		fatalf("no BenchmarkSubmitContention results in %s", in)
 	}
-	v, err := strconv.ParseFloat(m[3], 64)
-	if err != nil {
-		return
+
+	failed := false
+
+	// Cold-mix scaling gate.
+	required := coldScalePerProc * float64(min(procs, 8))
+	if required > coldScaleCap {
+		required = coldScaleCap
 	}
-	if ns[m[1]] == nil {
-		ns[m[1]] = make(map[int]float64)
+	cold := ns["cold"]["spec"]
+	switch {
+	case required < 1:
+		fmt.Printf("benchgate: cold mix: %d proc(s) cannot exhibit parallel speedup, scaling gate skipped\n", procs)
+	case cold[1] == 0 || cold[8] == 0:
+		fatalf("cold mix: missing mode=spec gos=1 or gos=8 result in %s", in)
+	default:
+		scaling := cold[1] / cold[8]
+		verdict := "ok"
+		if scaling < required {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("benchgate: cold mix gos=1 %.1f ns/op -> gos=8 %.1f ns/op: x%.2f throughput scaling on %d procs (need x%.2f) %s\n",
+			cold[1], cold[8], scaling, procs, required, verdict)
 	}
-	if cur, ok := ns[m[1]][nodes]; !ok || v < cur {
-		ns[m[1]][nodes] = v
+
+	// Hot-mix overhead gate.
+	if procs < 2 {
+		fmt.Printf("benchgate: hot mix: submitters cannot overlap on %d proc(s), no conflicts occur, overhead gate skipped\n", procs)
+	} else {
+		gated := 0
+		var widths []int
+		for gos := range ns["hot"]["spec"] {
+			widths = append(widths, gos)
+		}
+		sort.Ints(widths)
+		for _, gos := range widths {
+			if gos < 4 {
+				continue // uncontended widths: conflicts too rare to engage the gate
+			}
+			serial, ok := ns["hot"]["serial"][gos]
+			if !ok {
+				continue
+			}
+			gated++
+			ratio := serial / ns["hot"]["spec"][gos] // spec/serial throughput
+			verdict := "ok"
+			if ratio < hotFloor {
+				verdict = "FAIL"
+				failed = true
+			}
+			fmt.Printf("benchgate: hot mix gos=%d spec %.1f ns/op vs serial %.1f ns/op: x%.2f of serialized throughput (floor x%.2f) %s\n",
+				gos, ns["hot"]["spec"][gos], serial, ratio, hotFloor, verdict)
+		}
+		if gated == 0 {
+			fatalf("hot mix: no gos>=4 spec/serial pairs in %s", in)
+		}
+	}
+
+	if failed {
+		fatalf("optimistic admission breaks its contention contract")
 	}
 }
 

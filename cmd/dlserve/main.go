@@ -22,6 +22,11 @@
 // (per-stage admission latency, per-shard outcomes, HTTP metrics);
 // -pprof-addr serves net/http/pprof on a separate listener; -log-level
 // and -log-format select structured (slog) request logging.
+// -mutex-profile-fraction and -block-profile-rate switch on the runtime's
+// lock-contention and blocking profiles, served as /debug/pprof/mutex and
+// /debug/pprof/block on the -pprof-addr listener — the direct way to see
+// how much of the admission path still waits on the shard lock now that
+// planning runs speculatively outside it.
 //
 // SIGTERM or SIGINT triggers a graceful drain: new submissions are
 // refused with 503 + Retry-After, every committed plan is flushed, event
@@ -41,6 +46,7 @@ import (
 	_ "net/http/pprof" // registers the pprof handlers on DefaultServeMux
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -69,6 +75,8 @@ func main() {
 		stats     = flag.String("final-stats", "", "write the final /v1/stats snapshot to this file on shutdown")
 		metricsF  = flag.String("final-metrics", "", "write the final /metrics exposition to this file on shutdown")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = off)")
+		mutexFrac = flag.Int("mutex-profile-fraction", 0, "runtime mutex profile sampling: 1 in N contended lock events (0 = off); served at /debug/pprof/mutex on -pprof-addr")
+		blockRate = flag.Int("block-profile-rate", 0, "runtime block profile sampling: one event per N ns blocked (0 = off); served at /debug/pprof/block on -pprof-addr")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
 		logFormat = flag.String("log-format", "text", "log format: text or json")
 		quiet     = flag.Bool("quiet", false, "suppress per-request logging")
@@ -84,7 +92,8 @@ func main() {
 
 	if err := run(*addr, *n, *cms, *cps, *policy, *alg, *rounds, *maxQueue,
 		*shards, *placement, *seed, *scale, *maxRetry, *drainWait,
-		*stats, *metricsF, *pprofAddr, logger, *quiet, *churn); err != nil {
+		*stats, *metricsF, *pprofAddr, *mutexFrac, *blockRate,
+		logger, *quiet, *churn); err != nil {
 		fmt.Fprintln(os.Stderr, "dlserve:", err)
 		os.Exit(1)
 	}
@@ -120,7 +129,7 @@ func buildLogger(level, format string) (*slog.Logger, error) {
 func run(addr string, n int, cms, cps float64, policyName, alg string, rounds, maxQueue,
 	shards int, placementName string, seed uint64, scale, maxRetry float64,
 	drainWait time.Duration, statsPath, metricsPath, pprofAddr string,
-	logger *slog.Logger, quiet bool, churnSpec string) error {
+	mutexFrac, blockRate int, logger *slog.Logger, quiet bool, churnSpec string) error {
 
 	pol, err := rtdls.ParsePolicy(policyName)
 	if err != nil {
@@ -169,6 +178,17 @@ func run(addr string, n int, cms, cps float64, policyName, alg string, rounds, m
 		return err
 	}
 
+	if mutexFrac > 0 {
+		runtime.SetMutexProfileFraction(mutexFrac)
+		logger.Info("mutex profiling on", slog.Int("fraction", mutexFrac))
+	}
+	if blockRate > 0 {
+		runtime.SetBlockProfileRate(blockRate)
+		logger.Info("block profiling on", slog.Int("rate_ns", blockRate))
+	}
+	if (mutexFrac > 0 || blockRate > 0) && pprofAddr == "" {
+		logger.Warn("contention profiling enabled but -pprof-addr is empty; profiles are being collected with nowhere to serve them")
+	}
 	if pprofAddr != "" {
 		pln, err := net.Listen("tcp", pprofAddr)
 		if err != nil {

@@ -340,6 +340,8 @@ type ShardCounters struct {
 	Rejects       int64            `json:"rejects"`
 	Commits       int64            `json:"commits"`
 	Displacements int64            `json:"displacements,omitempty"`
+	Speculative   int64            `json:"speculative,omitempty"`
+	Conflicts     int64            `json:"conflicts,omitempty"`
 	QueueDepthMax float64          `json:"queue_depth_max"`
 	FleetNodes    map[string]int64 `json:"fleet_nodes,omitempty"`
 }
@@ -360,12 +362,21 @@ type ReadmissionLatency struct {
 // between client-observed latency and what the admission pipeline itself
 // measured.
 type ServerMetrics struct {
-	Stages        []StageLatency      `json:"stages,omitempty"`
-	Shards        []ShardCounters     `json:"shards,omitempty"`
-	QueueDepthMax float64             `json:"queue_depth_max"`
-	EventsDropped float64             `json:"events_dropped"`
-	Displacements int64               `json:"displacements,omitempty"`
-	Readmission   *ReadmissionLatency `json:"readmission,omitempty"`
+	Stages        []StageLatency  `json:"stages,omitempty"`
+	Shards        []ShardCounters `json:"shards,omitempty"`
+	QueueDepthMax float64         `json:"queue_depth_max"`
+	EventsDropped float64         `json:"events_dropped"`
+	Displacements int64           `json:"displacements,omitempty"`
+
+	// Speculative and Conflicts total the optimistic-admission outcome
+	// counters across shards over the run; ConflictRate is the fraction of
+	// off-lock planned admissions that lost the install race and replayed
+	// serialized — the wire-level health signal for the two-phase admission
+	// path under this workload's concurrency.
+	Speculative  int64               `json:"speculative"`
+	Conflicts    int64               `json:"conflicts"`
+	ConflictRate float64             `json:"conflict_rate"`
+	Readmission  *ReadmissionLatency `json:"readmission,omitempty"`
 }
 
 // MetricsDelta summarises the before→after difference of two scrapes.
@@ -398,6 +409,8 @@ func MetricsDelta(before, after *Scrape) *ServerMetrics {
 			Rejects:       counterDelta("rtdls_rejects_total", want),
 			Commits:       counterDelta("rtdls_commits_total", want),
 			Displacements: counterDelta("rtdls_displacements_total", want),
+			Speculative:   counterDelta("rtdls_admission_speculative_total", want),
+			Conflicts:     counterDelta("rtdls_admission_conflicts_total", want),
 		}
 		scs.QueueDepthMax, _ = after.Value("rtdls_queue_depth_max", want)
 		if scs.QueueDepthMax > sm.QueueDepthMax {
@@ -416,7 +429,12 @@ func MetricsDelta(before, after *Scrape) *ServerMetrics {
 			scs.FleetNodes[st] = int64(v)
 		}
 		sm.Displacements += scs.Displacements
+		sm.Speculative += scs.Speculative
+		sm.Conflicts += scs.Conflicts
 		sm.Shards = append(sm.Shards, scs)
+	}
+	if attempts := sm.Speculative + sm.Conflicts; attempts > 0 {
+		sm.ConflictRate = float64(sm.Conflicts) / float64(attempts)
 	}
 	sm.EventsDropped = after.Sum("rtdls_events_dropped_total", nil) - before.Sum("rtdls_events_dropped_total", nil)
 	if d := histogramDelta(before, after, "rtdls_readmission_seconds", nil); d.count > 0 {

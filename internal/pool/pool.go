@@ -314,21 +314,193 @@ func sliceContains(order []int, idx int) bool {
 	return false
 }
 
-// SubmitBatch submits several tasks in order, returning one decision per
-// considered task. Unlike a single service, the batch is not atomic
-// pool-wide: each task is placed and tested individually, so concurrent
-// submitters may interleave between them. On a hard error the decisions
-// made so far are returned alongside it.
+// SubmitBatch submits several tasks, returning one decision per considered
+// task in input order. The batch fans out: every task is routed up front
+// (placement sequence numbers follow input order), the per-shard sub-batches
+// run concurrently — one goroutine per target shard, each a single
+// group-installed shard batch — and the decisions are re-stitched into input
+// order. Tasks a shard refuses are then retried down their placement order
+// exactly as Submit spills over. Unlike a single service, the batch is not
+// atomic pool-wide: concurrent submitters may interleave between sub-batches.
+// On a hard error the decisions made so far (in input order) are returned
+// alongside it.
 func (p *Pool) SubmitBatch(ctx context.Context, tasks []rt.Task) ([]service.Decision, error) {
 	decisions := make([]service.Decision, 0, len(tasks))
-	for _, t := range tasks {
-		d, err := p.Submit(ctx, t)
+	if len(tasks) == 0 {
+		return decisions, nil
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return decisions, err
+		}
+	}
+	if p.closed.Load() {
+		return decisions, fmt.Errorf("pool: closed: %w", errs.ErrClusterBusy)
+	}
+	if p.draining.Load() {
+		return decisions, fmt.Errorf("pool: draining: %w", errs.ErrClusterBusy)
+	}
+
+	// Route every task first, in input order. Loads are sampled once; for
+	// load-aware placements each routed task optimistically grows its target
+	// shard's queue so the batch keeps spreading the way per-task sampling
+	// would.
+	sc := p.scratch.Get().(*placeScratch)
+	defer p.scratch.Put(sc)
+	for i, sh := range p.shards {
+		sc.loads[i].Live = sh.LiveNodes()
+		if p.needLoads {
+			sc.loads[i].QueueLen = sh.QueueLen()
+			sc.loads[i].Nodes = sh.Nodes()
+		}
+	}
+	orders := make([][]int, len(tasks))
+	target := make([]int, len(tasks))
+	subTasks := make([][]rt.Task, len(p.shards))
+	for i := range tasks {
+		seq := p.seq.Add(1) - 1
+		order := p.place.Order(sc.order[:0], seq, sc.loads, &tasks[i])
+		sc.order = order[:0]
+		if len(order) == 0 {
+			return decisions, fmt.Errorf("pool: placement %s returned no shard: %w", p.place.Name(), errs.ErrBadConfig)
+		}
+		target[i] = -1
+		for _, idx := range order {
+			if idx < 0 || idx >= len(p.shards) {
+				return decisions, fmt.Errorf("pool: placement %s picked shard %d of %d: %w",
+					p.place.Name(), idx, len(p.shards), errs.ErrBadConfig)
+			}
+			if target[i] < 0 && sc.loads[idx].Live > 0 {
+				target[i] = idx
+			}
+		}
+		orders[i] = append([]int(nil), order...)
+		if t := target[i]; t >= 0 {
+			subTasks[t] = append(subTasks[t], tasks[i])
+			if p.needLoads {
+				sc.loads[t].QueueLen++
+			}
+		}
+	}
+
+	// Fan out: one goroutine per target shard, each submitting its
+	// sub-batch in one shard-level (speculative, group-installed) batch.
+	subDec := make([][]service.Decision, len(p.shards))
+	subErr := make([]error, len(p.shards))
+	var wg sync.WaitGroup
+	for s := range p.shards {
+		if len(subTasks[s]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			subDec[s], subErr[s] = p.shards[s].SubmitBatch(ctx, subTasks[s])
+		}(s)
+	}
+	wg.Wait()
+
+	// Stitch the decisions back into input order; rejected tasks spill over
+	// down their placement order, dead-pick tasks fall through to the
+	// remaining live shards — both exactly as Submit does.
+	pos := make([]int, len(p.shards))
+	for i := range tasks {
+		t := target[i]
+		if t < 0 {
+			d, err := p.deadPickFallthrough(ctx, tasks[i], orders[i])
+			if err != nil {
+				return decisions, err
+			}
+			decisions = append(decisions, d)
+			continue
+		}
+		j := pos[t]
+		pos[t]++
+		if j >= len(subDec[t]) {
+			// The shard's sub-batch stopped early on a hard error; this is
+			// the first input-order task it never decided.
+			return decisions, subErr[t]
+		}
+		d := subDec[t][j]
+		if d.Accepted {
+			p.arrivals.Add(1)
+			p.accepts.Add(1)
+			decisions = append(decisions, d)
+			continue
+		}
+		d, err := p.spillOver(ctx, tasks[i], orders[i], t, d)
 		if err != nil {
 			return decisions, err
 		}
 		decisions = append(decisions, d)
 	}
 	return decisions, nil
+}
+
+// spillOver retries a task its first shard refused down the rest of its
+// placement order, mirroring Submit's retry loop and counter discipline.
+func (p *Pool) spillOver(ctx context.Context, task rt.Task, order []int, first int, firstDec service.Decision) (service.Decision, error) {
+	last := firstDec
+	if !errors.Is(last.Reason, errs.ErrDeadlinePast) {
+		for _, idx := range order {
+			if idx == first || p.shards[idx].LiveNodes() == 0 {
+				continue
+			}
+			d, err := p.shards[idx].Submit(ctx, task)
+			if err != nil {
+				return d, err
+			}
+			if d.Accepted {
+				p.arrivals.Add(1)
+				p.accepts.Add(1)
+				p.spillovers.Add(1)
+				return d, nil
+			}
+			last = d
+			if errors.Is(d.Reason, errs.ErrDeadlinePast) {
+				break
+			}
+		}
+	}
+	p.arrivals.Add(1)
+	p.rejects.Add(1)
+	return last, nil
+}
+
+// deadPickFallthrough handles a task whose every placement pick was dead at
+// routing time: offer it to the remaining live shards in index order, as
+// Submit's fall-through does.
+func (p *Pool) deadPickFallthrough(ctx context.Context, task rt.Task, order []int) (service.Decision, error) {
+	var last service.Decision
+	tried := 0
+	for idx := range p.shards {
+		if sliceContains(order, idx) || p.shards[idx].LiveNodes() == 0 {
+			continue
+		}
+		d, err := p.shards[idx].Submit(ctx, task)
+		if err != nil {
+			return d, err
+		}
+		tried++
+		if d.Accepted {
+			p.arrivals.Add(1)
+			p.accepts.Add(1)
+			if tried > 1 {
+				p.spillovers.Add(1)
+			}
+			return d, nil
+		}
+		last = d
+		if errors.Is(d.Reason, errs.ErrDeadlinePast) {
+			break
+		}
+	}
+	if tried == 0 {
+		return service.Decision{}, fmt.Errorf("pool: no live shard available: %w", errs.ErrClusterBusy)
+	}
+	p.arrivals.Add(1)
+	p.rejects.Add(1)
+	return last, nil
 }
 
 // Subscribe attaches a consumer to the pool-wide event stream: one merged,
@@ -354,6 +526,14 @@ func (p *Pool) SetAccepting(accepting bool) { p.draining.Store(!accepting) }
 // true until SetAccepting(false) or Close. Lock-free — the health
 // endpoint's readiness signal.
 func (p *Pool) Accepting() bool { return !p.draining.Load() && !p.closed.Load() }
+
+// SetSpeculation toggles optimistic two-phase admission on every shard
+// (on by default; see service.Service.SetSpeculation).
+func (p *Pool) SetSpeculation(on bool) {
+	for _, sh := range p.shards {
+		sh.SetSpeculation(on)
+	}
+}
 
 // Event re-exports the service event type for pool subscribers.
 type Event = service.Event
@@ -384,6 +564,8 @@ func (p *Pool) Stats() service.Stats {
 		agg.NodesDown += st.NodesDown
 		agg.Displaced += st.Displaced
 		agg.LateCommits += st.LateCommits
+		agg.Speculative += st.Speculative
+		agg.Conflicts += st.Conflicts
 		if st.LastRelease > agg.LastRelease {
 			agg.LastRelease = st.LastRelease
 		}

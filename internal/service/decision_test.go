@@ -1,0 +1,50 @@
+package service
+
+import (
+	"testing"
+
+	"rtdls/internal/rt"
+)
+
+// TestNewDecisionAllocs pins the accepted-Decision construction to exactly
+// two heap allocations: one float64 slab backing both Starts and Alphas,
+// and one []int for Nodes. BenchmarkServiceSubmit's allocs/op rides on
+// this — a third allocation here shows up directly on the accept hot path.
+func TestNewDecisionAllocs(t *testing.T) {
+	pl := &rt.Plan{
+		Nodes:  []int{3, 1, 4, 1, 5},
+		Starts: []float64{0, 1, 2, 3, 4},
+		Alphas: []float64{0.2, 0.2, 0.2, 0.2, 0.2},
+		Est:    42,
+		Rounds: 1,
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		d := newDecision(7, 1.5, 0, pl)
+		if len(d.Starts) != len(pl.Starts) {
+			t.Fatal("decision lost its starts")
+		}
+	})
+	if allocs != 2 {
+		t.Fatalf("newDecision allocates %.0f times per call, want exactly 2 (one float slab + one node slice)", allocs)
+	}
+}
+
+// TestNewDecisionIndependence verifies the slab-backed copies really are
+// copies: mutating the source plan after the fact must not leak into the
+// returned Decision, and the two float views must not alias each other.
+func TestNewDecisionIndependence(t *testing.T) {
+	pl := &rt.Plan{
+		Nodes:  []int{0, 1},
+		Starts: []float64{10, 20},
+		Alphas: []float64{0.5, 0.5},
+	}
+	d := newDecision(1, 0, 0, pl)
+	pl.Nodes[0], pl.Starts[0], pl.Alphas[0] = 9, 99, 0.9
+	if d.Nodes[0] != 0 || d.Starts[0] != 10 || d.Alphas[0] != 0.5 {
+		t.Fatalf("decision aliases the plan: %+v", d)
+	}
+	d.Starts = append(d.Starts, 30) // must not clobber Alphas' backing array
+	if d.Alphas[0] != 0.5 || d.Alphas[1] != 0.5 {
+		t.Fatalf("Starts append clobbered Alphas: %v", d.Alphas)
+	}
+}

@@ -122,6 +122,13 @@ type Stats struct {
 	Displaced     int
 	Readmitted    int
 	LateCommits   int
+
+	// Optimistic-admission accounting: Speculative counts decisions whose
+	// planning ran off-lock and installed on an unchanged epoch, Conflicts
+	// the planning-backed speculations discarded because the epoch moved
+	// (each replayed through the serialized path).
+	Speculative int
+	Conflicts   int
 }
 
 // RejectRatio returns Rejects/Arrivals (0 when nothing has arrived).
@@ -184,6 +191,17 @@ type Service struct {
 	displaced     atomic.Int64
 	lateCommits   atomic.Int64
 
+	// Optimistic-admission state (speculate.go): the default-on gate, the
+	// consecutive-conflict streak driving the adaptive backoff with its
+	// probe counter, the install/discard totals surfaced by Stats and
+	// /metrics, and a pool of per-goroutine speculation contexts.
+	speculating   atomic.Bool
+	specStreak    atomic.Int64
+	specProbe     atomic.Uint64
+	specInstalls  atomic.Int64
+	specConflicts atomic.Int64
+	specPool      sync.Pool
+
 	exec ExecStats // under mu
 
 	met  *Metrics          // nil when uninstrumented
@@ -228,6 +246,7 @@ func New(cfg Config) (*Service, error) {
 		exec:     ExecStats{MaxLateness: math.Inf(-1)},
 	}
 	s.accepting.Store(true)
+	s.speculating.Store(true)
 	if cfg.Metrics != nil {
 		s.met = cfg.Metrics
 		s.inst = cfg.Metrics.shard(cfg.Shard)
@@ -265,10 +284,21 @@ func (s *Service) Clock() Clock { return s.clock }
 // The error return reports malformed input (ErrBadConfig), a cancelled
 // context, or a closed service (ErrClusterBusy) — never infeasibility: an
 // infeasible task is a clean decision with Reason ErrInfeasible.
+//
+// By default the admission test runs optimistically: planning happens
+// off-lock against an epoch-stamped snapshot, and the lock is held only for
+// an epoch check plus the install (see speculate.go and SetSpeculation).
+// Concurrent submitters therefore plan in parallel; the decision stream is
+// bit-for-bit what a serialized execution would produce.
 func (s *Service) Submit(ctx context.Context, task rt.Task) (Decision, error) {
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			return Decision{}, err
+		}
+	}
+	if s.specAllowed() {
+		if d, err, ok := s.submitSpeculative(task); ok {
+			return d, err
 		}
 	}
 	s.mu.Lock()
@@ -278,8 +308,16 @@ func (s *Service) Submit(ctx context.Context, task rt.Task) (Decision, error) {
 
 // SubmitBatch submits several tasks under one lock acquisition, in order,
 // and returns one decision per considered task. On a hard error the
-// decisions made so far are returned alongside it.
+// decisions made so far are returned alongside it. Like Submit, the batch
+// plans speculatively by default — every task is tested off-lock against
+// one evolving snapshot and the whole batch group-installs under a single
+// epoch check.
 func (s *Service) SubmitBatch(ctx context.Context, tasks []rt.Task) ([]Decision, error) {
+	if len(tasks) > 0 && s.specAllowed() {
+		if d, err, ok := s.submitBatchSpeculative(ctx, tasks); ok {
+			return d, err
+		}
+	}
 	decisions := make([]Decision, 0, len(tasks))
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -353,22 +391,38 @@ func (s *Service) submitLocked(task rt.Task) (Decision, error) {
 		s.noteQueueLocked()
 	}
 	pl := s.sched.PlanFor(t.ID)
-	d := Decision{
-		TaskID:   t.ID,
-		Accepted: true,
-		At:       now,
-		Shard:    s.shard,
-		Est:      pl.Est,
-		Rounds:   pl.Rounds,
-		Nodes:    append([]int(nil), pl.Nodes...),
-		Starts:   append([]float64(nil), pl.Starts...),
-		Alphas:   append([]float64(nil), pl.Alphas...),
-	}
+	d := newDecision(t.ID, now, s.shard, pl)
 	s.publishLocked(Event{
 		Kind: EventAccept, Time: now, Task: *t,
 		Nodes: len(pl.Nodes), Est: pl.Est,
 	})
 	return d, nil
+}
+
+// newDecision builds an accepted Decision. The caller-owned Starts and
+// Alphas copies share one float64 backing array (Starts is capped so an
+// append cannot reach into Alphas), halving the slice-header churn on the
+// hot accept path.
+func newDecision(id int64, now float64, shard int, pl *rt.Plan) Decision {
+	k := len(pl.Nodes)
+	fbuf := make([]float64, 2*k)
+	starts := fbuf[:k:k]
+	alphas := fbuf[k:]
+	copy(starts, pl.Starts)
+	copy(alphas, pl.Alphas)
+	nodes := make([]int, k)
+	copy(nodes, pl.Nodes)
+	return Decision{
+		TaskID:   id,
+		Accepted: true,
+		At:       now,
+		Shard:    shard,
+		Est:      pl.Est,
+		Rounds:   pl.Rounds,
+		Nodes:    nodes,
+		Starts:   starts,
+		Alphas:   alphas,
+	}
 }
 
 // rejectLocked records a service-level rejection (the schedulability test
@@ -528,6 +582,8 @@ func (s *Service) Stats() Stats {
 		NodesDown:     int(s.nodesDown.Load()),
 		Displaced:     int(s.displaced.Load()),
 		LateCommits:   int(s.lateCommits.Load()),
+		Speculative:   int(s.specInstalls.Load()),
+		Conflicts:     int(s.specConflicts.Load()),
 	}
 	if span := math.Max(now, rel); span > 0 {
 		st.Utilization = busy / (float64(s.nodesTotal.Load()) * span)

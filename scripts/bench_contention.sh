@@ -1,0 +1,25 @@
+#!/bin/sh
+# Contention benchmark gate: run the BenchmarkSubmitContention sweep
+# (mix={cold,hot} x mode={spec,serial} x gos={1..16} submitters against one
+# shard) as a test2json stream (BENCH_contention.json, uploaded by CI next
+# to BENCH_index.json), then gate the optimistic-admission contract with
+# cmd/benchgate -contention:
+#   - cold mix (epoch-neutral rejects, ~zero conflicts): speculation at
+#     gos=8 must out-run gos=1 by a machine-adaptive factor derived from
+#     the GOMAXPROCS suffix in the benchmark names;
+#   - hot mix (every install moves the epoch, ~100% conflicts): the
+#     adaptive conflict gate must hold speculation within a few percent of
+#     fully serialized throughput.
+# Both gates skip with a note on single-proc machines, where submitters
+# cannot overlap and the contract's premise (real parallelism) is absent.
+# Run locally via `make bench-contention`; CI runs this same script.
+set -eu
+
+GO=${GO:-go}
+OUT=${OUT:-BENCH_contention.json}
+BENCHTIME=${BENCHTIME:-2000x}
+
+# Redirect instead of tee so a benchmark failure fails the script.
+$GO test . -run '^$' -bench '^BenchmarkSubmitContention$' \
+	-benchmem -benchtime "$BENCHTIME" -json > "$OUT"
+$GO run ./cmd/benchgate -contention -in "$OUT"

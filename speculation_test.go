@@ -1,0 +1,255 @@
+package rtdls_test
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rtdls"
+)
+
+// specTask derives a deterministic task from its id, so the concurrent run
+// and the serialized replay construct bit-identical inputs.
+func specTask(id int64) rtdls.Task {
+	return rtdls.Task{
+		ID:          id,
+		Sigma:       30 + float64((id*37)%350),
+		RelDeadline: 500 + float64((id*91)%6000),
+	}
+}
+
+// TestSpeculativeStressChurn hammers one shard from 16 goroutines — twelve
+// submitters alternating Submit and SubmitBatch, four churners failing and
+// restoring their own node — with optimistic admission on (the default) and
+// an independent Verifier re-checking every commitment. Run under -race
+// (CI does), this is the data-race net over the whole two-phase admission
+// surface: snapshots, off-lock planning, epoch checks, install paths,
+// conflict fallbacks and fleet-triggered re-validation all interleave.
+// After a drain the conservation identity must hold exactly:
+// accepts == commits + displaced − readmitted.
+func TestSpeculativeStressChurn(t *testing.T) {
+	verifier := rtdls.NewVerifier(rtdls.Params{Cms: 1, Cps: 100}, 16)
+	svc, err := rtdls.New(
+		rtdls.WithNodes(16),
+		rtdls.WithParams(rtdls.Params{Cms: 1, Cps: 100}),
+		rtdls.WithPolicy(rtdls.EDF),
+		rtdls.WithAlgorithm(rtdls.AlgDLTIIT),
+		rtdls.WithObserver(verifier),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		submitters = 12
+		churners   = 4
+		each       = 60
+	)
+	var (
+		wg       sync.WaitGroup
+		id       atomic.Int64
+		mu       sync.Mutex
+		accepted int
+		rejected int
+	)
+	ctx := context.Background()
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			la, lr := 0, 0
+			count := func(d rtdls.Decision) {
+				if d.Accepted {
+					la++
+				} else {
+					lr++
+				}
+			}
+			for i := 0; i < each; i++ {
+				if i%3 == 2 {
+					batch := []rtdls.Task{specTask(id.Add(1)), specTask(id.Add(1)), specTask(id.Add(1))}
+					decs, err := svc.SubmitBatch(ctx, batch)
+					if err != nil {
+						t.Errorf("worker %d batch: %v", w, err)
+						return
+					}
+					for _, d := range decs {
+						count(d)
+					}
+				} else {
+					d, err := svc.Submit(ctx, specTask(id.Add(1)))
+					if err != nil {
+						t.Errorf("worker %d: %v", w, err)
+						return
+					}
+					count(d)
+				}
+			}
+			mu.Lock()
+			accepted += la
+			rejected += lr
+			mu.Unlock()
+		}(w)
+	}
+	for c := 0; c < churners; c++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			for i := 0; i < each/2; i++ {
+				if _, err := svc.FailNode(node); err != nil {
+					t.Errorf("fail node %d: %v", node, err)
+					return
+				}
+				if _, err := svc.RestoreNode(node); err != nil {
+					t.Errorf("restore node %d: %v", node, err)
+					return
+				}
+			}
+		}(12 + c) // one node per churner: no double-fail interleavings
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if err := svc.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	svc.Close()
+
+	if accepted+rejected != st.Arrivals || st.Accepts != accepted || st.Rejects != rejected {
+		t.Fatalf("decision totals %d+%d disagree with stats %+v", accepted, rejected, st)
+	}
+	if st.Accepts != st.Commits+st.Displaced-st.Readmitted {
+		t.Fatalf("conservation broken after drain: accepts=%d commits=%d displaced=%d readmitted=%d",
+			st.Accepts, st.Commits, st.Displaced, st.Readmitted)
+	}
+	if st.QueueLen != 0 {
+		t.Fatalf("drain left %d tasks queued", st.QueueLen)
+	}
+	if st.Speculative+st.Conflicts == 0 {
+		t.Fatal("no submission took the speculative path; the stress exercised nothing")
+	}
+	if !verifier.OK() {
+		t.Fatalf("verifier found violations:\n%s", verifier.Report())
+	}
+}
+
+// TestSpeculativeLinearizationReplay is the linearizability property test:
+// whatever interleaving the concurrent, speculating run produced, replaying
+// the same tasks in the same linearization order through a fully serialized
+// service must reproduce every Decision bit for bit — accepts, rejects,
+// node sets, starts, alphas and estimates. The event stream publishes
+// decisions in install order under the service lock, so it IS the
+// linearization; conflict-path fallbacks replay through the serialized
+// submit by construction, and this test pins that epoch-clean installs are
+// indistinguishable from it too.
+func TestSpeculativeLinearizationReplay(t *testing.T) {
+	newSvc := func() (*rtdls.Service, *rtdls.ManualClock) {
+		clock := rtdls.NewManualClock(0) // frozen: `now` is 0 in both runs
+		svc, err := rtdls.New(
+			rtdls.WithNodes(16),
+			rtdls.WithParams(rtdls.Params{Cms: 1, Cps: 100}),
+			rtdls.WithPolicy(rtdls.EDF),
+			rtdls.WithAlgorithm(rtdls.AlgDLTIIT),
+			rtdls.WithClock(clock),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return svc, clock
+	}
+
+	// Concurrent run, speculation on (the default).
+	svc, _ := newSvc()
+	events, cancelSub := svc.Subscribe(1 << 15)
+	order := make(chan []int64, 1)
+	go func() {
+		var ids []int64
+		for ev := range events {
+			if ev.Kind == rtdls.EventAccept || ev.Kind == rtdls.EventReject {
+				ids = append(ids, ev.Task.ID)
+			}
+		}
+		order <- ids
+	}()
+
+	const (
+		workers = 8
+		each    = 40
+	)
+	var (
+		wg  sync.WaitGroup
+		id  atomic.Int64
+		mu  sync.Mutex
+		got = make(map[int64]rtdls.Decision, workers*each)
+	)
+	ctx := context.Background()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				n := id.Add(1)
+				d, err := svc.Submit(ctx, specTask(n))
+				if err != nil {
+					t.Errorf("task %d: %v", n, err)
+					return
+				}
+				mu.Lock()
+				got[n] = d
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	st := svc.Stats()
+	svc.Close()
+	cancelSub()
+	linear := <-order
+
+	if st.EventsDropped != 0 {
+		t.Fatalf("%d events dropped; the linearization record is incomplete", st.EventsDropped)
+	}
+	if len(linear) != workers*each {
+		t.Fatalf("linearization has %d decisions, want %d", len(linear), workers*each)
+	}
+
+	// Serialized replay of the identical linearization order.
+	replay, _ := newSvc()
+	defer replay.Close()
+	replay.SetSpeculation(false)
+	for pos, n := range linear {
+		want := got[n]
+		d, err := replay.Submit(ctx, specTask(n))
+		if err != nil {
+			t.Fatalf("replay pos %d task %d: %v", pos, n, err)
+		}
+		if d.Accepted != want.Accepted {
+			t.Fatalf("pos %d task %d: accepted=%v, concurrent run said %v", pos, n, d.Accepted, want.Accepted)
+		}
+		if d.Reason != want.Reason {
+			t.Fatalf("pos %d task %d: reason=%q, concurrent run said %q", pos, n, d.Reason, want.Reason)
+		}
+		if math.Float64bits(d.Est) != math.Float64bits(want.Est) || d.Rounds != want.Rounds ||
+			math.Float64bits(d.At) != math.Float64bits(want.At) {
+			t.Fatalf("pos %d task %d: est/rounds/at %v/%d/%v != %v/%d/%v",
+				pos, n, d.Est, d.Rounds, d.At, want.Est, want.Rounds, want.At)
+		}
+		if len(d.Nodes) != len(want.Nodes) {
+			t.Fatalf("pos %d task %d: %d nodes != %d", pos, n, len(d.Nodes), len(want.Nodes))
+		}
+		for i := range d.Nodes {
+			if d.Nodes[i] != want.Nodes[i] ||
+				math.Float64bits(d.Starts[i]) != math.Float64bits(want.Starts[i]) ||
+				math.Float64bits(d.Alphas[i]) != math.Float64bits(want.Alphas[i]) {
+				t.Fatalf("pos %d task %d node %d: plan diverges from concurrent run", pos, n, i)
+			}
+		}
+	}
+}
